@@ -1,0 +1,94 @@
+//! Criterion microbenches for the paper's efficiency claims: compile time
+//! should grow roughly linearly with chip area (Fig. 12 bottom), and the
+//! pipeline's stages should each stay cheap at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecmas::{para_finding, Ecmas, EcmasConfig};
+use ecmas_baselines::{AutoBraid, Edpci};
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::{benchmarks, random};
+use ecmas_partition::{place, WeightedGraph};
+use ecmas_route::{Disjointness, Router};
+
+fn bench_para_finding(c: &mut Criterion) {
+    let qft = benchmarks::qft_n50();
+    let dag = qft.dag();
+    c.bench_function("para_finding/qft_n50", |b| b.iter(|| para_finding(&dag)));
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let qft = benchmarks::qft_n10();
+    let comm = qft.comm_graph();
+    let graph = WeightedGraph::from_edges(
+        comm.qubits(),
+        comm.edges().iter().map(|e| (e.a, e.b, u64::from(e.weight))),
+    );
+    c.bench_function("placement/qft_n10_4x4", |b| b.iter(|| place(&graph, 4, 4, 4, 7)));
+}
+
+fn bench_router(c: &mut Criterion) {
+    let chip = Chip::uniform(CodeModel::DoubleDefect, 8, 8, 2, 3).unwrap();
+    c.bench_function("router/64_random_pairs_8x8_b2", |b| {
+        b.iter(|| {
+            let mut router = Router::new(chip.grid(), Disjointness::Node);
+            for t in 0..64 {
+                router.block_tile(t);
+            }
+            let mut routed = 0;
+            for k in 0..64u64 {
+                let from = (k * 17 % 64) as usize;
+                let to = (k * 29 % 64) as usize;
+                if from != to && router.route_tiles(from, to, k / 8, 1).is_some() {
+                    routed += 1;
+                }
+            }
+            routed
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for name in ["qft_n10", "ising_n10", "swap_test_n25"] {
+        let circuit = benchmarks::by_name(name).expect("known benchmark");
+        let dd = Chip::min_viable(CodeModel::DoubleDefect, circuit.qubits(), 3).unwrap();
+        let ls = Chip::min_viable(CodeModel::LatticeSurgery, circuit.qubits(), 3).unwrap();
+        group.bench_with_input(BenchmarkId::new("ecmas_dd", name), &circuit, |b, circ| {
+            b.iter(|| Ecmas::new(EcmasConfig::default()).compile(circ, &dd).unwrap().cycles());
+        });
+        group.bench_with_input(BenchmarkId::new("ecmas_ls", name), &circuit, |b, circ| {
+            b.iter(|| Ecmas::new(EcmasConfig::default()).compile(circ, &ls).unwrap().cycles());
+        });
+        group.bench_with_input(BenchmarkId::new("autobraid", name), &circuit, |b, circ| {
+            b.iter(|| AutoBraid::new().compile(circ, &dd).unwrap().cycles());
+        });
+        group.bench_with_input(BenchmarkId::new("edpci", name), &circuit, |b, circ| {
+            b.iter(|| Edpci::new().compile(circ, &ls).unwrap().cycles());
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 12 bottom panel: compile time as the chip grows (bandwidth 1..5).
+fn bench_chip_size_scaling(c: &mut Criterion) {
+    let circuit = random::layered(49, 50, 11, 0xF16);
+    let mut group = c.benchmark_group("fig12_compile_time");
+    group.sample_size(10);
+    for bw in 1..=5u32 {
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 7, 7, bw, 3).unwrap();
+        group.bench_with_input(BenchmarkId::new("ecmas_dd_pm11", bw), &chip, |b, chip| {
+            b.iter(|| Ecmas::new(EcmasConfig::default()).compile(&circuit, chip).unwrap().cycles());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_para_finding,
+    bench_placement,
+    bench_router,
+    bench_end_to_end,
+    bench_chip_size_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table I: overview of cycle counts for
+//! AutoBraid vs Ecmas (double defect, minimum viable + sufficient chips)
+//! and EDPCI vs Ecmas (lattice surgery, minimum viable + 4x chips).
+
+use ecmas_bench::{print_rows, table1_row};
+
+fn main() {
+    let rows: Vec<_> =
+        ecmas_circuit::benchmarks::table1_suite().iter().map(table1_row).collect();
+    print_rows("Table I: overview of experiment results (cycles)", &rows);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table II: location-initialization comparison
+//! (Trivial / Metis / Ours) on the minimum viable lattice-surgery chip.
+
+use ecmas_bench::{print_rows, table2_row};
+
+fn main() {
+    let rows: Vec<_> =
+        ecmas_circuit::benchmarks::ablation_suite().iter().map(table2_row).collect();
+    print_rows("Table II: comparison of location initialization methods (cycles)", &rows);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table III: cut-type-initialization comparison
+//! (Random / Max-cut / Ours) on the minimum viable double-defect chip.
+
+use ecmas_bench::{print_rows, table3_row};
+
+fn main() {
+    let rows: Vec<_> =
+        ecmas_circuit::benchmarks::ablation_suite().iter().map(table3_row).collect();
+    print_rows("Table III: comparison of cut type initialization methods (cycles)", &rows);
+}

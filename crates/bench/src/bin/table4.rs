@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table IV: gate-scheduling comparison
+//! (Circuit-order / Ours) on the minimum viable lattice-surgery chip.
+
+use ecmas_bench::{print_rows, table4_row};
+
+fn main() {
+    let rows: Vec<_> =
+        ecmas_circuit::benchmarks::ablation_suite().iter().map(table4_row).collect();
+    print_rows("Table IV: comparison of gate scheduling algorithms (cycles)", &rows);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table V: cut-type-scheduling comparison
+//! (Channel-first / Time-first / Ours) on the minimum viable double-defect
+//! chip.
+
+use ecmas_bench::{print_rows, table5_row};
+
+fn main() {
+    let rows: Vec<_> =
+        ecmas_circuit::benchmarks::ablation_suite().iter().map(table5_row).collect();
+    print_rows("Table V: comparison of cut type scheduling strategies (cycles)", &rows);
+}

@@ -1,0 +1,417 @@
+use crate::error::ChipError;
+use crate::grid::RoutingGrid;
+
+/// The surface-code flavour a chip is operated under (paper §II-B).
+///
+/// The two models share the tile-array abstraction but differ in CNOT
+/// implementation: double defect braids paths through channels (1 clock
+/// cycle between opposite cut types, 3 between equal ones), lattice surgery
+/// builds Bell states along ancilla-tile paths (always 1 clock cycle).
+/// Paths within a cycle must be node-disjoint for braiding and
+/// edge-disjoint for lattice surgery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CodeModel {
+    /// Double-defect encoding [Fowler et al. 2012]: 5d×5d tiles, braiding
+    /// lanes 2.5d wide.
+    DoubleDefect,
+    /// Lattice-surgery encoding [Horsman et al. 2012]: ⌈√2·d⌉-wide rotated
+    /// tiles; channels are rows of ancilla tiles.
+    LatticeSurgery,
+}
+
+impl CodeModel {
+    /// Display name used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CodeModel::DoubleDefect => "double defect",
+            CodeModel::LatticeSurgery => "lattice surgery",
+        }
+    }
+}
+
+/// A surface-code chip: an `R × C` array of logical tile slots separated
+/// and bordered by channels with per-channel integer bandwidth.
+///
+/// There are `R + 1` horizontal channels (running between/outside tile
+/// rows) and `C + 1` vertical channels. Channel bandwidths are the number
+/// of parallel CNOT paths the channel can carry side by side; the *chip
+/// bandwidth* is the minimum over all channels (paper §III-A).
+///
+/// # Example
+///
+/// ```
+/// use ecmas_chip::{Chip, CodeModel};
+///
+/// let mut chip = Chip::uniform(CodeModel::LatticeSurgery, 3, 3, 1, 3)?;
+/// assert_eq!(chip.bandwidth(), 1);
+/// chip.set_v_bandwidth(1, 3)?; // widen one busy vertical channel
+/// assert_eq!(chip.v_bandwidth(1), 3);
+/// assert_eq!(chip.bandwidth(), 1); // chip bandwidth is still the min
+/// # Ok::<(), ecmas_chip::ChipError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chip {
+    model: CodeModel,
+    tile_rows: usize,
+    tile_cols: usize,
+    h_bandwidth: Vec<u32>,
+    v_bandwidth: Vec<u32>,
+    code_distance: u32,
+}
+
+impl Chip {
+    /// Creates a chip with `rows × cols` tile slots and the same
+    /// `bandwidth` on every channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tile array is empty or `d == 0`.
+    pub fn uniform(
+        model: CodeModel,
+        rows: usize,
+        cols: usize,
+        bandwidth: u32,
+        code_distance: u32,
+    ) -> Result<Self, ChipError> {
+        if rows == 0 || cols == 0 {
+            return Err(ChipError::EmptyTileArray);
+        }
+        if code_distance == 0 {
+            return Err(ChipError::ZeroCodeDistance);
+        }
+        Ok(Chip {
+            model,
+            tile_rows: rows,
+            tile_cols: cols,
+            h_bandwidth: vec![bandwidth; rows + 1],
+            v_bandwidth: vec![bandwidth; cols + 1],
+            code_distance,
+        })
+    }
+
+    /// The paper's *minimum viable* configuration for an `n`-qubit circuit:
+    /// a `⌈√n⌉ × ⌈√n⌉` tile array with bandwidth 1 everywhere — the
+    /// smallest square chip that can host every qubit and still route.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `d == 0`.
+    pub fn min_viable(model: CodeModel, n: usize, code_distance: u32) -> Result<Self, ChipError> {
+        if n == 0 {
+            return Err(ChipError::EmptyTileArray);
+        }
+        let side = int_sqrt_ceil(n);
+        Chip::uniform(model, side, side, 1, code_distance)
+    }
+
+    /// The paper's *4x resources* configuration: same tile array as
+    /// [`min_viable`](Self::min_viable) with every channel doubled to
+    /// bandwidth 2 (≈4× the physical qubits at the evaluated sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `d == 0`.
+    pub fn four_x(model: CodeModel, n: usize, code_distance: u32) -> Result<Self, ChipError> {
+        if n == 0 {
+            return Err(ChipError::EmptyTileArray);
+        }
+        let side = int_sqrt_ceil(n);
+        Chip::uniform(model, side, side, 2, code_distance)
+    }
+
+    /// The *sufficient resources* configuration used by Ecmas-ReSu: the
+    /// smallest uniform bandwidth whose Chip Communication Capacity
+    /// `⌊(b−1)/2⌋ + 3` (Theorem 2) reaches the circuit's parallelism
+    /// degree `gpm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `d == 0`.
+    pub fn sufficient(
+        model: CodeModel,
+        n: usize,
+        gpm: usize,
+        code_distance: u32,
+    ) -> Result<Self, ChipError> {
+        if n == 0 {
+            return Err(ChipError::EmptyTileArray);
+        }
+        let side = int_sqrt_ceil(n);
+        let bandwidth = Self::bandwidth_for_capacity(gpm);
+        Chip::uniform(model, side, side, bandwidth, code_distance)
+    }
+
+    /// The smallest bandwidth `b` with `⌊(b−1)/2⌋ + 3 ≥ capacity`
+    /// (inverse of Theorem 2; 1 when three parallel gates suffice).
+    #[must_use]
+    pub fn bandwidth_for_capacity(capacity: usize) -> u32 {
+        if capacity <= 3 {
+            1
+        } else {
+            u32::try_from(2 * (capacity - 3) + 1).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// The encoding model.
+    #[must_use]
+    pub fn model(&self) -> CodeModel {
+        self.model
+    }
+
+    /// Tile-array rows `R`.
+    #[must_use]
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Tile-array columns `C`.
+    #[must_use]
+    pub fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Number of tile slots `R·C`.
+    #[must_use]
+    pub fn tile_slots(&self) -> usize {
+        self.tile_rows * self.tile_cols
+    }
+
+    /// Code distance `d`.
+    #[must_use]
+    pub fn code_distance(&self) -> u32 {
+        self.code_distance
+    }
+
+    /// Bandwidth of horizontal channel `i` (0 = above the first tile row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > R`.
+    #[must_use]
+    pub fn h_bandwidth(&self, i: usize) -> u32 {
+        self.h_bandwidth[i]
+    }
+
+    /// Bandwidth of vertical channel `j` (0 = left of the first tile column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j > C`.
+    #[must_use]
+    pub fn v_bandwidth(&self, j: usize) -> u32 {
+        self.v_bandwidth[j]
+    }
+
+    /// All horizontal channel bandwidths (length `R + 1`).
+    #[must_use]
+    pub fn h_bandwidths(&self) -> &[u32] {
+        &self.h_bandwidth
+    }
+
+    /// All vertical channel bandwidths (length `C + 1`).
+    #[must_use]
+    pub fn v_bandwidths(&self) -> &[u32] {
+        &self.v_bandwidth
+    }
+
+    /// Sets the bandwidth of horizontal channel `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `i > R`.
+    pub fn set_h_bandwidth(&mut self, i: usize, bandwidth: u32) -> Result<(), ChipError> {
+        let channels = self.h_bandwidth.len();
+        *self
+            .h_bandwidth
+            .get_mut(i)
+            .ok_or(ChipError::ChannelOutOfRange { index: i, channels })? = bandwidth;
+        Ok(())
+    }
+
+    /// Sets the bandwidth of vertical channel `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `j > C`.
+    pub fn set_v_bandwidth(&mut self, j: usize, bandwidth: u32) -> Result<(), ChipError> {
+        let channels = self.v_bandwidth.len();
+        *self
+            .v_bandwidth
+            .get_mut(j)
+            .ok_or(ChipError::ChannelOutOfRange { index: j, channels })? = bandwidth;
+        Ok(())
+    }
+
+    /// The chip's bandwidth: the minimum over all channels (paper §III-A).
+    #[must_use]
+    pub fn bandwidth(&self) -> u32 {
+        self.h_bandwidth
+            .iter()
+            .chain(&self.v_bandwidth)
+            .copied()
+            .min()
+            .expect("chips always have channels")
+    }
+
+    /// Chip Communication Capacity `C = ⌊(b−1)/2⌋ + 3` (Theorem 2): the
+    /// number of independent CNOTs that can always run simultaneously
+    /// regardless of tile placement.
+    #[must_use]
+    pub fn communication_capacity(&self) -> usize {
+        ((self.bandwidth() as usize - 1) / 2) + 3
+    }
+
+    /// Builds the routing grid (one blocked cell per tile slot, `b` free
+    /// lanes per channel).
+    #[must_use]
+    pub fn grid(&self) -> RoutingGrid {
+        RoutingGrid::new(self)
+    }
+
+    /// Manhattan distance between two tile slots, in tile units — the
+    /// `l_ij` of the mapping cost function `f = Σ γ_ij · l_ij`.
+    #[must_use]
+    pub fn tile_distance(&self, slot_a: usize, slot_b: usize) -> usize {
+        let (ra, ca) = (slot_a / self.tile_cols, slot_a % self.tile_cols);
+        let (rb, cb) = (slot_b / self.tile_cols, slot_b % self.tile_cols);
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+
+    /// Physical qubit count in units of `d²` — the x-axis of the paper's
+    /// Fig. 12. Double defect: side = `5·tiles + 2.5·Σ bandwidth`; lattice
+    /// surgery: side = `√2·(tiles + Σ bandwidth)`.
+    ///
+    /// For a 7×7 tile array with uniform bandwidth 1…5 this reproduces the
+    /// paper's x-axis values 3025…18225 (double defect) and 450…4418
+    /// (lattice surgery).
+    #[must_use]
+    pub fn physical_qubits_per_d2(&self) -> f64 {
+        let h_lanes: u32 = self.h_bandwidth.iter().sum();
+        let v_lanes: u32 = self.v_bandwidth.iter().sum();
+        match self.model {
+            CodeModel::DoubleDefect => {
+                let height = 5.0 * self.tile_rows as f64 + 2.5 * f64::from(h_lanes);
+                let width = 5.0 * self.tile_cols as f64 + 2.5 * f64::from(v_lanes);
+                height * width
+            }
+            CodeModel::LatticeSurgery => {
+                let height = self.tile_rows as f64 + f64::from(h_lanes);
+                let width = self.tile_cols as f64 + f64::from(v_lanes);
+                2.0 * height * width
+            }
+        }
+    }
+
+    /// Absolute physical qubit count for the chip's code distance.
+    #[must_use]
+    pub fn physical_qubits(&self) -> u64 {
+        let d2 = f64::from(self.code_distance * self.code_distance);
+        (self.physical_qubits_per_d2() * d2).round() as u64
+    }
+}
+
+/// `⌈√n⌉` without floating point.
+fn int_sqrt_ceil(n: usize) -> usize {
+    let mut s = 1usize;
+    while s * s < n {
+        s += 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_viable_side_is_sqrt_ceiling() {
+        let chip = Chip::min_viable(CodeModel::DoubleDefect, 10, 3).unwrap();
+        assert_eq!((chip.tile_rows(), chip.tile_cols()), (4, 4));
+        let chip = Chip::min_viable(CodeModel::DoubleDefect, 9, 3).unwrap();
+        assert_eq!((chip.tile_rows(), chip.tile_cols()), (3, 3));
+        let chip = Chip::min_viable(CodeModel::DoubleDefect, 50, 3).unwrap();
+        assert_eq!((chip.tile_rows(), chip.tile_cols()), (8, 8));
+    }
+
+    #[test]
+    fn bandwidth_is_channel_minimum() {
+        let mut chip = Chip::uniform(CodeModel::DoubleDefect, 3, 3, 2, 3).unwrap();
+        assert_eq!(chip.bandwidth(), 2);
+        chip.set_h_bandwidth(1, 5).unwrap();
+        assert_eq!(chip.bandwidth(), 2);
+        chip.set_v_bandwidth(0, 1).unwrap();
+        assert_eq!(chip.bandwidth(), 1);
+    }
+
+    #[test]
+    fn capacity_matches_theorem2() {
+        for (b, cap) in [(1, 3), (2, 3), (3, 4), (5, 5), (7, 6)] {
+            let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, b, 3).unwrap();
+            assert_eq!(chip.communication_capacity(), cap, "bandwidth {b}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_for_capacity_inverts_theorem2() {
+        for gpm in 1..40 {
+            let b = Chip::bandwidth_for_capacity(gpm);
+            let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, b, 3).unwrap();
+            assert!(chip.communication_capacity() >= gpm, "gpm={gpm} b={b}");
+            if b > 1 {
+                let smaller = Chip::uniform(CodeModel::DoubleDefect, 2, 2, b - 2, 3);
+                if let Ok(smaller) = smaller {
+                    assert!(smaller.communication_capacity() < gpm, "b not minimal for gpm={gpm}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig12_x_axis_double_defect() {
+        // 49 qubits → 7×7 tiles; bandwidth 1..=5 must give the paper's
+        // 3025, 5625, 9025, 13225, 18225 physical qubits per d².
+        let expected = [3025.0, 5625.0, 9025.0, 13225.0, 18225.0];
+        for (b, want) in (1..=5).zip(expected) {
+            let chip = Chip::uniform(CodeModel::DoubleDefect, 7, 7, b, 3).unwrap();
+            assert!((chip.physical_qubits_per_d2() - want).abs() < 1e-9, "b={b}");
+        }
+    }
+
+    #[test]
+    fn fig12_x_axis_lattice_surgery() {
+        let expected = [450.0, 1058.0, 1922.0, 3042.0, 4418.0];
+        for (b, want) in (1..=5).zip(expected) {
+            let chip = Chip::uniform(CodeModel::LatticeSurgery, 7, 7, b, 3).unwrap();
+            assert!((chip.physical_qubits_per_d2() - want).abs() < 1e-9, "b={b}");
+        }
+    }
+
+    #[test]
+    fn tile_distance_is_manhattan() {
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 3, 4, 1, 3).unwrap();
+        // slot 0 = (0,0), slot 11 = (2,3)
+        assert_eq!(chip.tile_distance(0, 11), 5);
+        assert_eq!(chip.tile_distance(5, 5), 0);
+        assert_eq!(chip.tile_distance(1, 2), 1);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert_eq!(Chip::uniform(CodeModel::DoubleDefect, 0, 3, 1, 3), Err(ChipError::EmptyTileArray));
+        assert_eq!(Chip::uniform(CodeModel::DoubleDefect, 3, 3, 1, 0), Err(ChipError::ZeroCodeDistance));
+        assert_eq!(Chip::min_viable(CodeModel::DoubleDefect, 0, 3), Err(ChipError::EmptyTileArray));
+        let mut chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
+        assert!(chip.set_h_bandwidth(3, 1).is_err());
+        assert!(chip.set_h_bandwidth(2, 4).is_ok());
+    }
+
+    #[test]
+    fn physical_qubits_scale_with_distance() {
+        // 3×3 tiles, bandwidth 2: side = 15 + 2.5·8 = 35 ⇒ 1225·d² exactly.
+        let d3 = Chip::uniform(CodeModel::DoubleDefect, 3, 3, 2, 3).unwrap();
+        let d6 = Chip::uniform(CodeModel::DoubleDefect, 3, 3, 2, 6).unwrap();
+        assert_eq!(d3.physical_qubits(), 1225 * 9);
+        assert_eq!(d6.physical_qubits(), 4 * d3.physical_qubits());
+    }
+}

@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an invalid [`Chip`].
+///
+/// [`Chip`]: crate::Chip
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChipError {
+    /// The tile array has zero rows or columns.
+    EmptyTileArray,
+    /// The tile array cannot host the requested number of logical qubits.
+    TooManyQubits {
+        /// Logical qubits requested.
+        qubits: usize,
+        /// Tile slots available.
+        slots: usize,
+    },
+    /// A channel index was out of range.
+    ChannelOutOfRange {
+        /// The offending channel index.
+        index: usize,
+        /// Number of channels in that orientation.
+        channels: usize,
+    },
+    /// The code distance must be positive.
+    ZeroCodeDistance,
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ChipError::EmptyTileArray => write!(f, "tile array must have at least one row and column"),
+            ChipError::TooManyQubits { qubits, slots } => {
+                write!(f, "{qubits} logical qubits do not fit in {slots} tile slots")
+            }
+            ChipError::ChannelOutOfRange { index, channels } => {
+                write!(f, "channel index {index} out of range (have {channels})")
+            }
+            ChipError::ZeroCodeDistance => write!(f, "code distance must be positive"),
+        }
+    }
+}
+
+impl Error for ChipError {}

@@ -1,0 +1,331 @@
+use crate::chip::Chip;
+
+/// One cell of a [`RoutingGrid`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cell {
+    /// Channel space: a free lane cell paths may traverse.
+    Free,
+    /// A logical tile slot (blocked for through-routing); the payload is
+    /// the tile-slot index `r · C + c`.
+    Tile(usize),
+}
+
+/// The planar routing grid of a [`Chip`].
+///
+/// Each tile slot occupies exactly one blocked cell; every channel of
+/// bandwidth `b` contributes `b` parallel rows (or columns) of free cells
+/// running the full width (or height) of the chip, so junctions between a
+/// bandwidth-`b_h` and a bandwidth-`b_v` channel expand to a `b_h × b_v`
+/// block of free cells. CNOT paths are free-cell paths between two tile
+/// cells; because the grid is planar, node-disjointness of paths is exactly
+/// the "braiding paths cannot cross" rule of the double-defect model.
+///
+/// # Example
+///
+/// ```
+/// use ecmas_chip::{Cell, Chip, CodeModel};
+///
+/// let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3)?;
+/// let grid = chip.grid();
+/// assert_eq!((grid.rows(), grid.cols()), (5, 5));
+/// assert_eq!(grid.cell(grid.tile_cell(0)), Cell::Tile(0));
+/// // Tile 0 sits at grid (1,1); (0,1) above it is channel space.
+/// assert_eq!(grid.cell(grid.index(0, 1)), Cell::Free);
+/// # Ok::<(), ecmas_chip::ChipError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoutingGrid {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Cell>,
+    tile_cells: Vec<usize>,
+    h_channel: Vec<Option<usize>>,
+    v_channel: Vec<Option<usize>>,
+}
+
+impl RoutingGrid {
+    /// Builds the grid for `chip`. Usually reached via [`Chip::grid`].
+    #[must_use]
+    pub fn new(chip: &Chip) -> Self {
+        let (tr, tc) = (chip.tile_rows(), chip.tile_cols());
+        let h_lanes: u32 = chip.h_bandwidths().iter().sum();
+        let v_lanes: u32 = chip.v_bandwidths().iter().sum();
+        let rows = tr + h_lanes as usize;
+        let cols = tc + v_lanes as usize;
+
+        // Map grid rows to their horizontal channel (None for tile rows).
+        let mut h_channel = Vec::with_capacity(rows);
+        let mut tile_row_pos = Vec::with_capacity(tr);
+        for r in 0..tr {
+            for _ in 0..chip.h_bandwidth(r) {
+                h_channel.push(Some(r));
+            }
+            tile_row_pos.push(h_channel.len());
+            h_channel.push(None);
+        }
+        for _ in 0..chip.h_bandwidth(tr) {
+            h_channel.push(Some(tr));
+        }
+        debug_assert_eq!(h_channel.len(), rows);
+
+        let mut v_channel = Vec::with_capacity(cols);
+        let mut tile_col_pos = Vec::with_capacity(tc);
+        for c in 0..tc {
+            for _ in 0..chip.v_bandwidth(c) {
+                v_channel.push(Some(c));
+            }
+            tile_col_pos.push(v_channel.len());
+            v_channel.push(None);
+        }
+        for _ in 0..chip.v_bandwidth(tc) {
+            v_channel.push(Some(tc));
+        }
+        debug_assert_eq!(v_channel.len(), cols);
+
+        let mut cells = vec![Cell::Free; rows * cols];
+        let mut tile_cells = Vec::with_capacity(tr * tc);
+        for (r, &row_pos) in tile_row_pos.iter().enumerate() {
+            for (c, &col_pos) in tile_col_pos.iter().enumerate() {
+                let idx = row_pos * cols + col_pos;
+                cells[idx] = Cell::Tile(r * tc + c);
+                tile_cells.push(idx);
+            }
+        }
+
+        RoutingGrid { rows, cols, cells, tile_cells, h_channel, v_channel }
+    }
+
+    /// Grid height in cells.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid width in cells.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the grid has no cells (never happens for valid chips).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Flattens `(row, col)` to a cell index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if out of range.
+    #[must_use]
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Inverse of [`index`](Self::index).
+    #[must_use]
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx / self.cols, idx % self.cols)
+    }
+
+    /// The cell contents at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn cell(&self, idx: usize) -> Cell {
+        self.cells[idx]
+    }
+
+    /// `true` if `idx` is channel space.
+    #[must_use]
+    pub fn is_free(&self, idx: usize) -> bool {
+        self.cells[idx] == Cell::Free
+    }
+
+    /// Cell index of tile slot `slot` (`r · C + c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn tile_cell(&self, slot: usize) -> usize {
+        self.tile_cells[slot]
+    }
+
+    /// Number of tile slots.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.tile_cells.len()
+    }
+
+    /// The 4-neighborhood of `idx`, clipped at the boundary.
+    pub fn neighbors(&self, idx: usize) -> impl Iterator<Item = usize> + '_ {
+        let (r, c) = self.coords(idx);
+        let cols = self.cols;
+        let rows = self.rows;
+        [
+            (r > 0).then(|| idx - cols),
+            (r + 1 < rows).then(|| idx + cols),
+            (c > 0).then(|| idx - 1),
+            (c + 1 < cols).then(|| idx + 1),
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// The horizontal channel a grid row belongs to (`None` for tile rows).
+    #[must_use]
+    pub fn h_channel_of_row(&self, row: usize) -> Option<usize> {
+        self.h_channel[row]
+    }
+
+    /// The vertical channel a grid column belongs to (`None` for tile
+    /// columns).
+    #[must_use]
+    pub fn v_channel_of_col(&self, col: usize) -> Option<usize> {
+        self.v_channel[col]
+    }
+
+    /// Manhattan distance between two cells.
+    #[must_use]
+    pub fn manhattan(&self, a: usize, b: usize) -> usize {
+        let (ra, ca) = self.coords(a);
+        let (rb, cb) = self.coords(b);
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+
+    /// Renders the grid as ASCII art (`.` free, `#` tile), useful in
+    /// examples and debugging.
+    #[must_use]
+    pub fn ascii(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.push(match self.cells[self.index(r, c)] {
+                    Cell::Free => '.',
+                    Cell::Tile(_) => '#',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::CodeModel;
+
+    fn chip(rows: usize, cols: usize, b: u32) -> Chip {
+        Chip::uniform(CodeModel::DoubleDefect, rows, cols, b, 3).unwrap()
+    }
+
+    #[test]
+    fn bandwidth1_grid_dimensions() {
+        let g = chip(3, 3, 1).grid();
+        assert_eq!((g.rows(), g.cols()), (7, 7));
+        assert_eq!(g.tile_count(), 9);
+    }
+
+    #[test]
+    fn bandwidth2_grid_dimensions() {
+        let g = chip(3, 4, 2).grid();
+        assert_eq!((g.rows(), g.cols()), (3 + 4 * 2, 4 + 5 * 2));
+    }
+
+    #[test]
+    fn tiles_sit_on_odd_lattice_for_bandwidth1() {
+        let g = chip(2, 2, 1).grid();
+        for slot in 0..4 {
+            let (r, c) = g.coords(g.tile_cell(slot));
+            assert_eq!(r % 2, 1, "tile row should be odd");
+            assert_eq!(c % 2, 1, "tile col should be odd");
+            assert_eq!(g.cell(g.tile_cell(slot)), Cell::Tile(slot));
+        }
+    }
+
+    #[test]
+    fn free_cell_count_is_total_minus_tiles() {
+        let g = chip(3, 3, 2).grid();
+        let free = (0..g.len()).filter(|&i| g.is_free(i)).count();
+        assert_eq!(free, g.len() - 9);
+    }
+
+    #[test]
+    fn neighbors_clip_at_boundary() {
+        let g = chip(2, 2, 1).grid();
+        let corner = g.index(0, 0);
+        assert_eq!(g.neighbors(corner).count(), 2);
+        let mid = g.index(2, 2);
+        assert_eq!(g.neighbors(mid).count(), 4);
+    }
+
+    #[test]
+    fn channel_classification() {
+        let g = chip(2, 2, 1).grid();
+        // Rows: [ch0][tile0][ch1][tile1][ch2]
+        assert_eq!(g.h_channel_of_row(0), Some(0));
+        assert_eq!(g.h_channel_of_row(1), None);
+        assert_eq!(g.h_channel_of_row(2), Some(1));
+        assert_eq!(g.h_channel_of_row(3), None);
+        assert_eq!(g.h_channel_of_row(4), Some(2));
+        assert_eq!(g.v_channel_of_col(2), Some(1));
+    }
+
+    #[test]
+    fn junction_expands_with_bandwidth() {
+        // With bandwidth 3, the top-left junction is a 3×3 free block.
+        let g = chip(2, 2, 3).grid();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!(g.is_free(g.index(r, c)));
+            }
+        }
+        let (tr, tc) = g.coords(g.tile_cell(0));
+        assert_eq!((tr, tc), (3, 3));
+    }
+
+    #[test]
+    fn adjacent_tiles_separated_by_bandwidth_lanes() {
+        let g = chip(1, 2, 2).grid();
+        let (r0, c0) = g.coords(g.tile_cell(0));
+        let (r1, c1) = g.coords(g.tile_cell(1));
+        assert_eq!(r0, r1);
+        assert_eq!(c1 - c0, 3, "two lanes between adjacent tiles");
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let g = chip(1, 1, 1).grid();
+        assert_eq!(g.ascii(), "...\n.#.\n...\n");
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let g = chip(2, 2, 1).grid();
+        assert_eq!(g.manhattan(g.index(0, 0), g.index(3, 4)), 7);
+    }
+
+    #[test]
+    fn non_uniform_bandwidths_respected() {
+        let mut c = chip(2, 2, 1);
+        c.set_h_bandwidth(1, 4).unwrap();
+        let g = c.grid();
+        assert_eq!(g.rows(), 2 + 1 + 4 + 1);
+        // Rows 2..6 belong to the widened middle channel.
+        for r in 2..6 {
+            assert_eq!(g.h_channel_of_row(r), Some(1));
+        }
+    }
+}

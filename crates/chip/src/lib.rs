@@ -1,0 +1,43 @@
+//! Surface-code chip model for the Ecmas reproduction.
+//!
+//! The paper abstracts a quantum chip as a 2-D array of logical *tile*
+//! slots separated (and bordered) by *channels* whose width is measured in
+//! integer *bandwidth* units — the number of parallel braiding lanes
+//! (double defect) or ancilla-tile lanes (lattice surgery) the channel can
+//! carry. All of the paper's cycle counts are computed at this abstraction;
+//! the code distance `d` only enters the physical-qubit accounting.
+//!
+//! * [`Chip`] — tile array plus per-channel bandwidths, with the paper's
+//!   three resource configurations as constructors
+//!   ([`min_viable`](Chip::min_viable), 4x via
+//!   [`uniform`](Chip::uniform) with bandwidth 2, and
+//!   [`sufficient`](Chip::sufficient) for Ecmas-ReSu).
+//! * [`RoutingGrid`] — the planar free-cell grid the router works on: each
+//!   tile slot is one blocked cell, each channel contributes `bandwidth`
+//!   parallel rows/columns of free cells, junctions expand to
+//!   `b_h × b_v` sub-grids.
+//!
+//! # Example
+//!
+//! ```
+//! use ecmas_chip::{Chip, CodeModel};
+//!
+//! // Minimum viable double-defect chip for a 10-qubit circuit:
+//! let chip = Chip::min_viable(CodeModel::DoubleDefect, 10, 3)?;
+//! assert_eq!(chip.tile_rows(), 4); // ⌈√10⌉
+//! assert_eq!(chip.bandwidth(), 1);
+//! let grid = chip.grid();
+//! assert_eq!(grid.rows(), 4 + 5); // 4 tile rows + 5 bandwidth-1 channels
+//! # Ok::<(), ecmas_chip::ChipError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod error;
+mod grid;
+
+pub use chip::{Chip, CodeModel};
+pub use error::ChipError;
+pub use grid::{Cell, RoutingGrid};

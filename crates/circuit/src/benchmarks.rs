@@ -1,0 +1,960 @@
+//! Generators for the named benchmark circuits of the paper's evaluation
+//! (Table I and the ablation tables).
+//!
+//! The paper draws its circuits from IBM Qiskit, ScaffCC, QUEKO and
+//! QASMbench. Those suites are not vendored here; instead each circuit is
+//! regenerated from its mathematical definition. For the structurally
+//! pinned circuits (`dnn`, `ising`, `bv`, `ghz_state`, `qft_n10`,
+//! `swap_test`, `adder_n10`) the generated `(n, α, g)` match the paper's
+//! reported values exactly; for the oracle-style circuits (`grover`, `sat`,
+//! `square_root`, `multiplier`, `qf21`, `quantum_walk`, `shor`) the
+//! generators are synthetic equivalents sized to the reported gate counts,
+//! preserving the properties the compiler cares about: the dependency
+//! structure (serial vs parallel), the communication-graph topology
+//! (bipartite or not) and the overall scale. Actual values are recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! All generators are deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! let c = ecmas_circuit::benchmarks::ising_chain(10, 5);
+//! assert_eq!(c.qubits(), 10);
+//! assert_eq!(c.cnot_count(), 90); // matches the paper's ising_n10 row
+//! assert_eq!(c.depth(), 20);
+//! ```
+
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+
+/// A quantum-DNN-style circuit (QuClassi \[34\]): `blocks` repetitions of an
+/// all-pairs entangling block between the two halves of the register,
+/// scheduled round-robin so each block has depth `n/2`.
+///
+/// `dnn(8, 12)` reproduces the paper's `dnn_n8` row (α=48, g=192) and
+/// `dnn(16, 6)` its `dnn_n16` row (α=48, g=384). The communication graph is
+/// complete bipartite, so the optimal cut-type initialization lets every
+/// CNOT execute in one cycle.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or zero.
+#[must_use]
+pub fn dnn(n: usize, blocks: usize) -> Circuit {
+    assert!(n > 0 && n.is_multiple_of(2), "dnn requires an even positive qubit count");
+    let h = n / 2;
+    let mut c = Circuit::with_name(n, format!("dnn_n{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..blocks {
+        for round in 0..h {
+            for i in 0..h {
+                c.cnot(i, h + (i + round) % h);
+            }
+        }
+        for q in 0..n {
+            c.ry(q, PI / 7.0);
+        }
+    }
+    c
+}
+
+/// The paper's `dnn_n8` benchmark (n=8, α=48, g=192).
+#[must_use]
+pub fn dnn_n8() -> Circuit {
+    dnn(8, 12)
+}
+
+/// The paper's `dnn_n16` benchmark (n=16, α=48, g=384).
+#[must_use]
+pub fn dnn_n16() -> Circuit {
+    dnn(16, 6)
+}
+
+/// Trotterized 1-D transverse-field Ising evolution on an open chain:
+/// per step, ZZ rotations (2 CNOTs each) on even then odd bonds, plus an Rx
+/// field layer. Depth is 4 per step; the communication graph is a path.
+///
+/// `ising_chain(10, 5)` reproduces `ising_n10` (α=20, g=90) and
+/// `ising_chain(50, 1)` reproduces `ising_n50` (α=4, g=98).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn ising_chain(n: usize, steps: usize) -> Circuit {
+    assert!(n >= 2, "ising chain needs at least two qubits");
+    let mut c = Circuit::with_name(n, format!("ising_n{n}"));
+    for step in 0..steps {
+        for parity in 0..2 {
+            let mut i = parity;
+            while i + 1 < n {
+                c.cnot(i, i + 1);
+                c.rz(i + 1, 0.35 + 0.01 * step as f64);
+                c.cnot(i, i + 1);
+                i += 2;
+            }
+        }
+        for q in 0..n {
+            c.single(q, crate::circuit::SingleGate::Rx(0.2));
+        }
+    }
+    c
+}
+
+/// The paper's `ising_n10` benchmark (α=20, g=90).
+#[must_use]
+pub fn ising_n10() -> Circuit {
+    ising_chain(10, 5)
+}
+
+/// The paper's `ising_n50` benchmark (α=4, g=98).
+#[must_use]
+pub fn ising_n50() -> Circuit {
+    ising_chain(50, 1)
+}
+
+/// GHZ-state preparation: `H` then a CNOT chain. `ghz(23)` reproduces
+/// `ghz_state_n23` (α=22, g=22). The communication graph is a path.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 2, "ghz needs at least two qubits");
+    let mut c = Circuit::with_name(n, format!("ghz_state_n{n}"));
+    c.h(0);
+    for i in 0..n - 1 {
+        c.cnot(i, i + 1);
+    }
+    c
+}
+
+/// The paper's `ghz_state_n23` benchmark (α=22, g=22).
+#[must_use]
+pub fn ghz_state_n23() -> Circuit {
+    ghz(23)
+}
+
+/// Bernstein–Vazirani with a secret string of `ones` set bits: every CNOT
+/// targets the ancilla (last qubit), so α = g = `ones`. The communication
+/// graph is a star.
+///
+/// `bv(10, 5)` reproduces `BV_10` (α=5, g=5); `bv(50, 27)` reproduces
+/// `BV_50` (α=27, g=27).
+///
+/// # Panics
+///
+/// Panics if `ones >= n`.
+#[must_use]
+pub fn bv(n: usize, ones: usize) -> Circuit {
+    assert!(ones < n, "secret must fit in the data qubits");
+    let mut c = Circuit::with_name(n, format!("bv_n{n}"));
+    let anc = n - 1;
+    c.x(anc);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..ones {
+        c.cnot(q, anc);
+    }
+    for q in 0..n - 1 {
+        c.h(q);
+    }
+    c
+}
+
+/// The paper's `BV_10` benchmark (α=5, g=5).
+#[must_use]
+pub fn bv_n10() -> Circuit {
+    bv(10, 5)
+}
+
+/// The paper's `BV_50` benchmark (α=27, g=27).
+#[must_use]
+pub fn bv_n50() -> Circuit {
+    bv(50, 27)
+}
+
+/// Full quantum Fourier transform with the standard two-CNOT
+/// controlled-phase decomposition and a final 3-CNOT swap network.
+/// `qft(10)` has g = 2·C(10,2) + 3·5 = 105, matching the paper's `QFT_10`
+/// row. The communication graph is complete (not bipartite).
+#[must_use]
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::with_name(n, format!("qft_n{n}"));
+    for i in 0..n {
+        c.h(i);
+        for j in i + 1..n {
+            c.cp(j, i, PI / f64::from(1u32 << (j - i).min(30)));
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c
+}
+
+/// The paper's `QFT_10` benchmark (g=105).
+#[must_use]
+pub fn qft_n10() -> Circuit {
+    qft(10)
+}
+
+/// The paper's `QFT_50` benchmark.
+#[must_use]
+pub fn qft_n50() -> Circuit {
+    qft(50)
+}
+
+/// Quantum phase estimation with `n-1` counting qubits, one eigenstate
+/// qubit, controlled-U^(2^k) as controlled-phases, and an inverse QFT with
+/// `approx`-neighbor approximation (QASMbench-style). `qpe(9, 2)` is sized
+/// to the paper's `qpe_n9` row (g=43).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn qpe(n: usize, approx: usize) -> Circuit {
+    assert!(n >= 2, "qpe needs counting qubits plus a target");
+    let m = n - 1;
+    let mut c = Circuit::with_name(n, format!("qpe_n{n}"));
+    let target = n - 1;
+    c.x(target);
+    for k in 0..m {
+        c.h(k);
+    }
+    for k in 0..m {
+        c.cp(k, target, PI / f64::from(1u32 << k.min(30)));
+    }
+    // Approximate inverse QFT on the counting register.
+    for i in (0..m).rev() {
+        for j in (i + 1..m).rev() {
+            if j - i <= approx {
+                c.cp(j, i, -PI / f64::from(1u32 << (j - i).min(30)));
+            }
+        }
+        c.h(i);
+    }
+    c
+}
+
+/// The paper's `qpe_n9` benchmark (α=42, g=43 reported; this generator is a
+/// size-matched approximation — see `EXPERIMENTS.md`).
+#[must_use]
+pub fn qpe_n9() -> Circuit {
+    qpe(9, 2)
+}
+
+/// CDKM ripple-carry adder on two 4-bit operands (10 qubits: carry-in, two
+/// operand registers, carry-out). Exactly reproduces `adder_n10`
+/// (g = 8 MAJ/UMA · 8 CNOTs + 1 = 65).
+#[must_use]
+pub fn adder_n10() -> Circuit {
+    let mut c = Circuit::with_name(10, "adder_n10");
+    let cin = 0;
+    let a = [1, 2, 3, 4];
+    let b = [5, 6, 7, 8];
+    let cout = 9;
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cnot(z, y);
+        c.cnot(z, x);
+        c.ccx(x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.ccx(x, y, z);
+        c.cnot(z, x);
+        c.cnot(x, y);
+    };
+    maj(&mut c, cin, b[0], a[0]);
+    maj(&mut c, a[0], b[1], a[1]);
+    maj(&mut c, a[1], b[2], a[2]);
+    maj(&mut c, a[2], b[3], a[3]);
+    c.cnot(a[3], cout);
+    uma(&mut c, a[2], b[3], a[3]);
+    uma(&mut c, a[1], b[2], a[2]);
+    uma(&mut c, a[0], b[1], a[1]);
+    uma(&mut c, cin, b[0], a[0]);
+    c
+}
+
+/// Appends a multi-controlled X implemented with a Toffoli ladder through
+/// `anc` (compute up, hit `target`, uncompute down). Standard V-chain.
+///
+/// # Panics
+///
+/// Panics if fewer ancillas than `controls.len() - 2` are supplied.
+fn mcx_ladder(c: &mut Circuit, controls: &[usize], anc: &[usize], target: usize) {
+    match controls.len() {
+        0 => c.x(target),
+        1 => c.cnot(controls[0], target),
+        2 => c.ccx(controls[0], controls[1], target),
+        k => {
+            assert!(anc.len() >= k - 2, "mcx ladder needs {} ancillas", k - 2);
+            c.ccx(controls[0], controls[1], anc[0]);
+            for i in 2..k - 1 {
+                c.ccx(controls[i], anc[i - 2], anc[i - 1]);
+            }
+            c.ccx(controls[k - 1], anc[k - 3], target);
+            for i in (2..k - 1).rev() {
+                c.ccx(controls[i], anc[i - 2], anc[i - 1]);
+            }
+            c.ccx(controls[0], controls[1], anc[0]);
+        }
+    }
+}
+
+/// Grover search: `data` work qubits, a Toffoli-ladder oracle and diffusion
+/// per iteration. `grover(5, 4, 2)` (9 qubits) is the stand-in for the
+/// paper's 9-qubit `grover` row — oracle-style, highly serial,
+/// non-bipartite communication graph.
+#[must_use]
+pub fn grover(data: usize, anc: usize, iterations: usize) -> Circuit {
+    let n = data + anc;
+    let mut c = Circuit::with_name(n, format!("grover_n{n}"));
+    let data_q: Vec<usize> = (0..data).collect();
+    let anc_q: Vec<usize> = (data..n).collect();
+    for &q in &data_q {
+        c.h(q);
+    }
+    let last_anc = *anc_q.last().expect("grover needs at least one ancilla");
+    let ladder_anc = &anc_q[..anc_q.len() - 1];
+    for _ in 0..iterations {
+        // Oracle: flag the marked state.
+        mcx_ladder(&mut c, &data_q, ladder_anc, last_anc);
+        c.single(last_anc, crate::circuit::SingleGate::Z);
+        mcx_ladder(&mut c, &data_q, ladder_anc, last_anc);
+        // Diffusion about the mean.
+        for &q in &data_q {
+            c.h(q);
+            c.x(q);
+        }
+        mcx_ladder(&mut c, &data_q, ladder_anc, last_anc);
+        c.single(last_anc, crate::circuit::SingleGate::Z);
+        mcx_ladder(&mut c, &data_q, ladder_anc, last_anc);
+        for &q in &data_q {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// The 9-qubit `grover` stand-in (paper row: α=110, g=132; see
+/// `EXPERIMENTS.md` for generated values).
+#[must_use]
+pub fn grover_n9() -> Circuit {
+    let mut c = grover(5, 4, 1);
+    c.set_name("grover_n9");
+    c
+}
+
+/// Oracle-cascade workload: `rounds` repetitions of a Toffoli-ladder
+/// multi-controlled-Z over `vars` variables (a Grover-style phase oracle).
+/// Used as the synthetic equivalent for QASMbench's `sat` and
+/// `square_root` circuits, which are dominated by exactly this pattern.
+#[must_use]
+pub fn oracle_cascade(vars: usize, anc: usize, rounds: usize, name: &str) -> Circuit {
+    let n = vars + anc;
+    let mut c = Circuit::with_name(n, name);
+    let var_q: Vec<usize> = (0..vars).collect();
+    let anc_q: Vec<usize> = (vars..n).collect();
+    let last_anc = *anc_q.last().expect("oracle cascade needs an ancilla");
+    let ladder = &anc_q[..anc_q.len() - 1];
+    for &q in &var_q {
+        c.h(q);
+    }
+    for r in 0..rounds {
+        // Vary the "marked" pattern per round with X conjugation.
+        for (i, &q) in var_q.iter().enumerate() {
+            if (r >> (i % 4)) & 1 == 1 {
+                c.x(q);
+            }
+        }
+        mcx_ladder(&mut c, &var_q, ladder, last_anc);
+        c.single(last_anc, crate::circuit::SingleGate::Z);
+        mcx_ladder(&mut c, &var_q, ladder, last_anc);
+        for (i, &q) in var_q.iter().enumerate() {
+            if (r >> (i % 4)) & 1 == 1 {
+                c.x(q);
+            }
+        }
+    }
+    c
+}
+
+/// Stand-in for `sat_n11` (paper row: α=204, g=252).
+#[must_use]
+pub fn sat_n11() -> Circuit {
+    oracle_cascade(5, 6, 3, "sat_n11")
+}
+
+/// Stand-in for the paper's `square_root_n4` row (11 qubits, α=221, g=294).
+#[must_use]
+pub fn square_root_n11() -> Circuit {
+    oracle_cascade(6, 5, 3, "square_root_n11")
+}
+
+/// Stand-in for `square_root_n18` (α=644, g=898).
+#[must_use]
+pub fn square_root_n18() -> Circuit {
+    oracle_cascade(9, 9, 5, "square_root_n18")
+}
+
+/// Carry-aware shift-and-add multiplier on two `k`-bit operands with a
+/// `2k`-bit product register and `k` carry ancillas (n = 5k qubits). Each
+/// partial product costs 4 Toffolis + 1 CNOT. `multiplier(3)` (15 qubits)
+/// and `multiplier(5)` (25 qubits) are the stand-ins for `multiplier_n15`
+/// (α=133, g=222) and `multiplier_n25` (α=381, g=670).
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+#[must_use]
+pub fn multiplier(k: usize) -> Circuit {
+    assert!(k >= 2, "multiplier needs at least 2-bit operands");
+    let n = 5 * k;
+    let mut c = Circuit::with_name(n, format!("multiplier_n{n}"));
+    let a: Vec<usize> = (0..k).collect();
+    let b: Vec<usize> = (k..2 * k).collect();
+    let p: Vec<usize> = (2 * k..4 * k).collect();
+    let anc: Vec<usize> = (4 * k..5 * k).collect();
+    for i in 0..k {
+        for j in 0..k {
+            // Compute the partial product into the carry ancilla, ripple it
+            // into the product register, then uncompute.
+            c.ccx(a[i], b[j], anc[j]);
+            c.ccx(anc[j], p[i + j], p[(i + j + 1).min(2 * k - 1)]);
+            c.ccx(p[(i + j + 1).min(2 * k - 1)], anc[j], anc[(j + 1) % k]);
+            c.cnot(anc[j], p[i + j]);
+            c.ccx(a[i], b[j], anc[j]);
+        }
+    }
+    c
+}
+
+/// Stand-in for `multiplier_n15` (α=133, g=222).
+#[must_use]
+pub fn multiplier_n15() -> Circuit {
+    multiplier(3)
+}
+
+/// Stand-in for `multiplier_n25` (α=381, g=670).
+#[must_use]
+pub fn multiplier_n25() -> Circuit {
+    multiplier(5)
+}
+
+/// Small multiplier used by the ablation tables (`multiply_n13`, α=23,
+/// g=40): 2-bit operands, 4-bit product, one carry ancilla, four idle
+/// qubits (QASMbench declares 13).
+#[must_use]
+pub fn multiply_n13() -> Circuit {
+    let mut c = Circuit::with_name(13, "multiply_n13");
+    let a = [0, 1];
+    let b = [2, 3];
+    let p = [4, 5, 6, 7];
+    let anc = 8;
+    for i in 0..2 {
+        for j in 0..2 {
+            c.ccx(a[i], b[j], p[i + j]);
+        }
+    }
+    for m in 0..3 {
+        c.ccx(p[m], anc, p[m + 1]);
+    }
+    c.cnot(anc, p[3]);
+    c.cnot(p[3], anc);
+    c
+}
+
+/// Stand-in for `qf21_n15` (order finding for 21; α=112, g=115): a
+/// 112-gate dependency chain through a hub qubit plus three off-path
+/// gates, giving exactly the paper's α=112, g=115 profile and a
+/// non-bipartite communication graph.
+#[must_use]
+pub fn qf21_n15() -> Circuit {
+    let n = 15;
+    let mut c = Circuit::with_name(n, "qf21_n15");
+    for k in 0..112 {
+        let partner = 1 + (k % (n - 1));
+        if k % 2 == 0 {
+            c.cnot(0, partner);
+        } else {
+            c.cnot(partner, 0);
+        }
+    }
+    // Three gates off the critical path: their operands' last hub uses are
+    // early enough that these land below depth 112, and the (1,2) edge
+    // closes a triangle with the hub edges (0,1) and (0,2), so the
+    // communication graph is not bipartite.
+    c.cnot(1, 2);
+    c.cnot(3, 4);
+    c.cnot(5, 6);
+    c
+}
+
+/// Swap test between two `k`-qubit states with a shared control ancilla:
+/// `k` Fredkin gates at 8 CNOTs each. `swap_test(12)` reproduces the
+/// paper's `swap_test_n25` gate count (g=96, n=25).
+#[must_use]
+pub fn swap_test(k: usize) -> Circuit {
+    let n = 2 * k + 1;
+    let mut c = Circuit::with_name(n, format!("swap_test_n{n}"));
+    let ctl = 0;
+    c.h(ctl);
+    for i in 0..k {
+        c.cswap(ctl, 1 + i, 1 + k + i);
+    }
+    c.h(ctl);
+    c
+}
+
+/// The paper's `swap_test_n25` benchmark (g=96).
+#[must_use]
+pub fn swap_test_n25() -> Circuit {
+    swap_test(12)
+}
+
+/// Linear W-state preparation: a chain of controlled-Ry (2 CNOTs each)
+/// followed by a CNOT per stage. The communication graph is a path
+/// (bipartite), matching the property that makes `wstate_n27` compile to
+/// depth α under Ecmas.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn wstate(n: usize) -> Circuit {
+    assert!(n >= 2, "wstate needs at least two qubits");
+    let mut c = Circuit::with_name(n, format!("wstate_n{n}"));
+    c.x(n - 1);
+    for i in (1..n).rev() {
+        let theta = 2.0 * (1.0 / (f64::from(u32::try_from(i).unwrap_or(u32::MAX)))).sqrt().acos();
+        c.cry(i, i - 1, theta);
+        c.cnot(i - 1, i);
+    }
+    c
+}
+
+/// The paper's `wstate_n27` benchmark (paper row: α=28, g=52; this
+/// generator uses the standard 3-CNOT stage — see `EXPERIMENTS.md`).
+#[must_use]
+pub fn wstate_n27() -> Circuit {
+    wstate(27)
+}
+
+/// Discrete-time quantum walk on a 32-node cycle: 5 position qubits, one
+/// coin, 5 ladder ancillas (11 qubits). Each step applies a
+/// coin-controlled increment and an X-conjugated decrement built from
+/// multi-controlled-X ladders. `quantum_walk(74)` is the size-matched
+/// stand-in for the paper's `quantum_walk` row (α=14104, g=14372).
+#[must_use]
+pub fn quantum_walk(steps: usize) -> Circuit {
+    let n = 11;
+    let mut c = Circuit::with_name(n, "quantum_walk_n11");
+    let pos: Vec<usize> = (0..5).collect();
+    let coin = 5;
+    let anc: Vec<usize> = (6..11).collect();
+    for _ in 0..steps {
+        c.h(coin);
+        // Increment controlled on the coin: MSB first.
+        for j in (0..5).rev() {
+            let mut controls = vec![coin];
+            controls.extend(&pos[..j]);
+            mcx_ladder(&mut c, &controls, &anc, pos[j]);
+        }
+        // Decrement = X-conjugated increment, controlled on ¬coin.
+        c.x(coin);
+        for &q in &pos {
+            c.x(q);
+        }
+        for j in (0..5).rev() {
+            let mut controls = vec![coin];
+            controls.extend(&pos[..j]);
+            mcx_ladder(&mut c, &controls, &anc, pos[j]);
+        }
+        for &q in &pos {
+            c.x(q);
+        }
+        c.x(coin);
+    }
+    c
+}
+
+/// The paper's `quantum_walk` row stand-in (11 qubits, ≈14k CNOTs).
+#[must_use]
+pub fn quantum_walk_n11() -> Circuit {
+    quantum_walk(74)
+}
+
+/// Shor-style order-finding stand-in on 12 qubits: rounds of a controlled
+/// CDKM ripple adder (modular-multiply skeleton) interleaved with
+/// controlled-phase sweeps. `shor(163)` matches the scale of the paper's
+/// `shor` row (α=13412, g=13838).
+#[must_use]
+pub fn shor(rounds: usize) -> Circuit {
+    let n = 12;
+    let mut c = Circuit::with_name(n, "shor_n12");
+    let ctl = 0;
+    let a = [1, 2, 3, 4];
+    let b = [5, 6, 7, 8];
+    let cin = 9;
+    let cout = 10;
+    let anc = 11;
+    for r in 0..rounds {
+        c.h(ctl);
+        // Controlled ripple add: MAJ/UMA chains with the round's control
+        // folded in through the carry ancilla.
+        c.ccx(ctl, a[0], anc);
+        c.cnot(anc, cin);
+        c.ccx(ctl, a[0], anc);
+        for i in 0..4 {
+            let x = if i == 0 { cin } else { a[i - 1] };
+            c.cnot(a[i], b[i]);
+            c.cnot(a[i], x);
+            c.ccx(x, b[i], a[i]);
+        }
+        c.cnot(a[3], cout);
+        for i in (0..4).rev() {
+            let x = if i == 0 { cin } else { a[i - 1] };
+            c.ccx(x, b[i], a[i]);
+            c.cnot(a[i], x);
+            c.cnot(x, b[i]);
+        }
+        // Phase sweep back onto the control (semiclassical QFT flavour).
+        c.cp(ctl, b[r % 4], PI / f64::from(1 + (r % 7) as u8));
+    }
+    c
+}
+
+/// The paper's `shor` row stand-in (12 qubits, ≈13.8k CNOTs).
+#[must_use]
+pub fn shor_n12() -> Circuit {
+    shor(163)
+}
+
+/// The 22 circuits of the paper's Table I, in row order.
+#[must_use]
+pub fn table1_suite() -> Vec<Circuit> {
+    vec![
+        dnn_n8(),
+        grover_n9(),
+        qpe_n9(),
+        bv_n10(),
+        qft_n10(),
+        adder_n10(),
+        ising_n10(),
+        sat_n11(),
+        square_root_n11(),
+        multiplier_n15(),
+        qf21_n15(),
+        dnn_n16(),
+        square_root_n18(),
+        ghz_state_n23(),
+        multiplier_n25(),
+        swap_test_n25(),
+        wstate_n27(),
+        bv_n50(),
+        qft_n50(),
+        ising_n50(),
+        quantum_walk_n11(),
+        shor_n12(),
+    ]
+}
+
+/// The 11 circuits shared by the ablation studies (Tables II–V).
+#[must_use]
+pub fn ablation_suite() -> Vec<Circuit> {
+    vec![
+        dnn_n8(),
+        grover_n9(),
+        qpe_n9(),
+        ising_n10(),
+        adder_n10(),
+        qft_n10(),
+        multiply_n13(),
+        square_root_n18(),
+        ghz_state_n23(),
+        swap_test_n25(),
+        ising_n50(),
+    ]
+}
+
+/// Looks up a benchmark by its canonical name (as produced by
+/// [`Circuit::name`]). Returns `None` for unknown names.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Circuit> {
+    let c = match name {
+        "dnn_n8" => dnn_n8(),
+        "dnn_n16" => dnn_n16(),
+        "grover_n9" => grover_n9(),
+        "qpe_n9" => qpe_n9(),
+        "bv_n10" => bv_n10(),
+        "bv_n50" => bv_n50(),
+        "qft_n10" => qft_n10(),
+        "qft_n50" => qft_n50(),
+        "adder_n10" => adder_n10(),
+        "ising_n10" => ising_n10(),
+        "ising_n50" => ising_n50(),
+        "sat_n11" => sat_n11(),
+        "square_root_n11" => square_root_n11(),
+        "square_root_n18" => square_root_n18(),
+        "multiplier_n15" => multiplier_n15(),
+        "multiplier_n25" => multiplier_n25(),
+        "multiply_n13" => multiply_n13(),
+        "qf21_n15" => qf21_n15(),
+        "ghz_state_n23" => ghz_state_n23(),
+        "swap_test_n25" => swap_test_n25(),
+        "wstate_n27" => wstate_n27(),
+        "quantum_walk_n11" => quantum_walk_n11(),
+        "shor_n12" => shor_n12(),
+        "steane_syndrome_n13" => steane_syndrome(),
+        _ => return None,
+    };
+    Some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dnn_n8_matches_paper_row() {
+        let c = dnn_n8();
+        assert_eq!(c.qubits(), 8);
+        assert_eq!(c.cnot_count(), 192);
+        assert_eq!(c.depth(), 48);
+        assert!(c.comm_graph().bipartition().is_some(), "dnn is complete bipartite");
+    }
+
+    #[test]
+    fn dnn_n16_matches_paper_row() {
+        let c = dnn_n16();
+        assert_eq!((c.qubits(), c.cnot_count(), c.depth()), (16, 384, 48));
+    }
+
+    #[test]
+    fn ising_rows_match_paper() {
+        let c10 = ising_n10();
+        assert_eq!((c10.qubits(), c10.cnot_count(), c10.depth()), (10, 90, 20));
+        let c50 = ising_n50();
+        assert_eq!((c50.qubits(), c50.cnot_count(), c50.depth()), (50, 98, 4));
+        assert!(c10.comm_graph().bipartition().is_some(), "a chain is bipartite");
+    }
+
+    #[test]
+    fn ghz_matches_paper() {
+        let c = ghz_state_n23();
+        assert_eq!((c.qubits(), c.cnot_count(), c.depth()), (23, 22, 22));
+    }
+
+    #[test]
+    fn bv_rows_match_paper() {
+        let c = bv_n10();
+        assert_eq!((c.qubits(), c.cnot_count(), c.depth()), (10, 5, 5));
+        let c = bv_n50();
+        assert_eq!((c.qubits(), c.cnot_count(), c.depth()), (50, 27, 27));
+    }
+
+    #[test]
+    fn qft10_gate_count_matches_paper() {
+        let c = qft_n10();
+        assert_eq!(c.cnot_count(), 105);
+        assert!(c.comm_graph().bipartition().is_none(), "complete graph is not bipartite");
+    }
+
+    #[test]
+    fn adder_matches_paper_gate_count() {
+        let c = adder_n10();
+        assert_eq!(c.qubits(), 10);
+        assert_eq!(c.cnot_count(), 65);
+    }
+
+    #[test]
+    fn swap_test_matches_paper_gate_count() {
+        let c = swap_test_n25();
+        assert_eq!(c.qubits(), 25);
+        assert_eq!(c.cnot_count(), 96);
+    }
+
+    #[test]
+    fn qf21_profile_matches_paper() {
+        let c = qf21_n15();
+        assert_eq!((c.qubits(), c.cnot_count(), c.depth()), (15, 115, 112));
+        assert!(c.comm_graph().bipartition().is_none());
+    }
+
+    #[test]
+    fn oracle_circuits_are_serial() {
+        for c in [grover_n9(), sat_n11(), square_root_n18()] {
+            let ratio = c.depth() as f64 / c.cnot_count() as f64;
+            assert!(ratio > 0.5, "{} should be mostly serial, got depth ratio {ratio}", c.name());
+        }
+    }
+
+    #[test]
+    fn wstate_is_bipartite_path() {
+        let c = wstate_n27();
+        assert_eq!(c.qubits(), 27);
+        assert!(c.comm_graph().bipartition().is_some());
+    }
+
+    #[test]
+    fn big_circuits_have_paper_scale() {
+        let qw = quantum_walk_n11();
+        assert_eq!(qw.qubits(), 11);
+        assert!((13_000..16_000).contains(&qw.cnot_count()), "got {}", qw.cnot_count());
+        let sh = shor_n12();
+        assert_eq!(sh.qubits(), 12);
+        assert!((12_000..15_000).contains(&sh.cnot_count()), "got {}", sh.cnot_count());
+    }
+
+    #[test]
+    fn suites_are_complete() {
+        assert_eq!(table1_suite().len(), 22);
+        assert_eq!(ablation_suite().len(), 11);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for c in table1_suite() {
+            let looked_up = by_name(c.name()).unwrap_or_else(|| panic!("missing {}", c.name()));
+            assert_eq!(looked_up.cnot_count(), c.cnot_count());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(qft_n10(), qft_n10());
+        assert_eq!(shor(3), shor(3));
+    }
+}
+
+/// MaxCut QAOA on a seeded random 3-regular-ish graph: per layer, a ZZ
+/// rotation (2 CNOTs) per graph edge followed by an X-mixer. A modern
+/// NISQ-era workload with tunable parallelism — not part of the paper's
+/// table rows, provided for downstream users.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+#[must_use]
+pub fn qaoa(n: usize, layers: usize, seed: u64) -> Circuit {
+    assert!(n >= 4, "qaoa needs at least four qubits");
+    let mut c = Circuit::with_name(n, format!("qaoa_n{n}_p{layers}"));
+    // Deterministic pseudo-random edge set: ring plus chords.
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let mut state = seed | 1;
+    for i in 0..n / 2 {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let j = (state >> 33) as usize % n;
+        if j != i && !edges.contains(&(i.min(j), i.max(j))) {
+            edges.push((i.min(j), i.max(j)));
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    for layer in 0..layers {
+        let gamma = 0.4 + 0.05 * layer as f64;
+        for &(a, b) in &edges {
+            c.cnot(a, b);
+            c.rz(b, gamma);
+            c.cnot(a, b);
+        }
+        for q in 0..n {
+            c.single(q, crate::circuit::SingleGate::Rx(0.7));
+        }
+    }
+    c
+}
+
+/// Hardware-efficient VQE ansatz: `layers` of per-qubit Ry/Rz rotations
+/// followed by a linear CNOT entangler. The communication graph is a path
+/// (bipartite), so Ecmas compiles it at depth.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn vqe_ansatz(n: usize, layers: usize) -> Circuit {
+    assert!(n >= 2, "vqe ansatz needs at least two qubits");
+    let mut c = Circuit::with_name(n, format!("vqe_n{n}_l{layers}"));
+    for layer in 0..layers {
+        for q in 0..n {
+            c.ry(q, 0.1 + 0.01 * (layer * n + q) as f64);
+            c.rz(q, 0.2 + 0.01 * q as f64);
+        }
+        for q in 0..n - 1 {
+            c.cnot(q, q + 1);
+        }
+    }
+    c
+}
+
+/// One syndrome-extraction round of the Steane `[[7,1,3]]` code: six
+/// stabilizer generators measured through six ancillas, four CNOTs each
+/// (n = 13). The classic fault-tolerance substrate circuit.
+#[must_use]
+pub fn steane_syndrome() -> Circuit {
+    let mut c = Circuit::with_name(13, "steane_syndrome_n13");
+    // Steane generators on data qubits 0..7 (classical Hamming [7,4]):
+    // supports {0,2,4,6}, {1,2,5,6}, {3,4,5,6} for both X and Z types.
+    let supports: [[usize; 4]; 3] = [[0, 2, 4, 6], [1, 2, 5, 6], [3, 4, 5, 6]];
+    // X-stabilizers: ancilla in |+⟩ controls CNOTs into the data.
+    for (k, support) in supports.iter().enumerate() {
+        let anc = 7 + k;
+        c.h(anc);
+        for &d in support {
+            c.cnot(anc, d);
+        }
+        c.h(anc);
+        c.single(anc, crate::circuit::SingleGate::Measure);
+    }
+    // Z-stabilizers: data controls CNOTs into the ancilla.
+    for (k, support) in supports.iter().enumerate() {
+        let anc = 10 + k;
+        for &d in support {
+            c.cnot(d, anc);
+        }
+        c.single(anc, crate::circuit::SingleGate::Measure);
+    }
+    c
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn qaoa_profile() {
+        let c = qaoa(8, 2, 7);
+        assert_eq!(c.qubits(), 8);
+        assert!(c.cnot_count() >= 2 * 8 * 2, "ring edges alone give 32 CNOTs");
+        assert_eq!(qaoa(8, 2, 7), qaoa(8, 2, 7), "deterministic");
+    }
+
+    #[test]
+    fn vqe_is_bipartite_path() {
+        let c = vqe_ansatz(10, 3);
+        assert_eq!(c.cnot_count(), 27);
+        assert!(c.comm_graph().bipartition().is_some());
+        // Consecutive entangler chains pipeline at a 2-cycle offset.
+        assert_eq!(c.depth(), (10 - 1) + 2 * (3 - 1));
+    }
+
+    #[test]
+    fn steane_has_24_cnots() {
+        let c = steane_syndrome();
+        assert_eq!(c.qubits(), 13);
+        assert_eq!(c.cnot_count(), 24);
+        assert!(by_name("steane_syndrome_n13").is_some());
+    }
+}

@@ -1,0 +1,220 @@
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+
+/// One weighted edge of a [`CommGraph`]: `weight` CNOTs act on the qubit
+/// pair `(a, b)` (stored with `a < b`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CommEdge {
+    /// Smaller qubit index.
+    pub a: usize,
+    /// Larger qubit index.
+    pub b: usize,
+    /// Number of CNOTs between the pair (`γ_ij` in the paper).
+    pub weight: u32,
+}
+
+/// The communication graph `G_C` of a circuit (paper §III, Fig. 6c).
+///
+/// Vertices are logical qubits; an edge `(i, j)` with weight `γ_ij` records
+/// that the circuit contains `γ_ij` CNOTs between qubits `i` and `j`
+/// (direction ignored). The initial mapping minimizes
+/// `Σ γ_ij · manhattan(tile_i, tile_j)` over this graph, and the cut-type
+/// initialization two-colors prefixes of it.
+///
+/// # Example
+///
+/// ```
+/// use ecmas_circuit::Circuit;
+///
+/// let mut c = Circuit::new(3);
+/// c.cnot(0, 1);
+/// c.cnot(1, 0); // same pair, other direction
+/// c.cnot(1, 2);
+/// let g = c.comm_graph();
+/// assert_eq!(g.weight(0, 1), 2);
+/// assert_eq!(g.weight(1, 2), 1);
+/// assert!(g.bipartition().is_some()); // a path is bipartite
+/// ```
+#[derive(Clone, Debug)]
+pub struct CommGraph {
+    qubits: usize,
+    edges: Vec<CommEdge>,
+    adj: Vec<Vec<(usize, u32)>>,
+}
+
+impl CommGraph {
+    /// Builds the communication graph of `circuit`.
+    #[must_use]
+    pub fn new(circuit: &Circuit) -> Self {
+        let qubits = circuit.qubits();
+        let mut weights: HashMap<(usize, usize), u32> = HashMap::new();
+        for g in circuit.cnot_gates() {
+            let key = (g.control.min(g.target), g.control.max(g.target));
+            *weights.entry(key).or_insert(0) += 1;
+        }
+        let mut edges: Vec<CommEdge> =
+            weights.into_iter().map(|((a, b), weight)| CommEdge { a, b, weight }).collect();
+        edges.sort_by_key(|e| (e.a, e.b));
+        let mut adj = vec![Vec::new(); qubits];
+        for e in &edges {
+            adj[e.a].push((e.b, e.weight));
+            adj[e.b].push((e.a, e.weight));
+        }
+        CommGraph { qubits, edges, adj }
+    }
+
+    /// Number of logical qubits (vertices).
+    #[must_use]
+    pub fn qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// The deduplicated weighted edges, sorted by `(a, b)`.
+    #[must_use]
+    pub fn edges(&self) -> &[CommEdge] {
+        &self.edges
+    }
+
+    /// Neighbors of `q` with edge weights.
+    #[must_use]
+    pub fn neighbors(&self, q: usize) -> &[(usize, u32)] {
+        &self.adj[q]
+    }
+
+    /// The CNOT multiplicity `γ_ij` between `i` and `j` (0 if none).
+    #[must_use]
+    pub fn weight(&self, i: usize, j: usize) -> u32 {
+        let (a, b) = (i.min(j), i.max(j));
+        self.adj[a].iter().find(|&&(n, _)| n == b).map_or(0, |&(_, w)| w)
+    }
+
+    /// Weighted degree of `q`: total CNOTs it participates in.
+    #[must_use]
+    pub fn weighted_degree(&self, q: usize) -> u32 {
+        self.adj[q].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Total edge weight (equals the circuit's CNOT count).
+    #[must_use]
+    pub fn total_weight(&self) -> u32 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Attempts to two-color the graph. Returns `Some(side)` with
+    /// `side[q] ∈ {0, 1}` if the graph is bipartite (isolated vertices get
+    /// side 0), or `None` if it contains an odd cycle.
+    ///
+    /// On a bipartite communication graph the optimal cut-type
+    /// initialization lets *every* CNOT run in one cycle (paper §IV-C1).
+    #[must_use]
+    pub fn bipartition(&self) -> Option<Vec<u8>> {
+        let mut side = vec![u8::MAX; self.qubits];
+        let mut queue = Vec::new();
+        for start in 0..self.qubits {
+            if side[start] != u8::MAX {
+                continue;
+            }
+            side[start] = 0;
+            queue.push(start);
+            while let Some(v) = queue.pop() {
+                for &(w, _) in &self.adj[v] {
+                    if side[w] == u8::MAX {
+                        side[w] = 1 - side[v];
+                        queue.push(w);
+                    } else if side[w] == side[v] {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(side)
+    }
+
+    /// The weight of edges crossing a 2-coloring `side` (entries in {0,1}).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != self.qubits()`.
+    #[must_use]
+    pub fn cut_weight(&self, side: &[u8]) -> u64 {
+        assert_eq!(side.len(), self.qubits, "side length mismatch");
+        self.edges
+            .iter()
+            .filter(|e| side[e.a] != side[e.b])
+            .map(|e| u64::from(e.weight))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_merge_directions() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        c.cnot(1, 0);
+        c.cnot(0, 1);
+        let g = c.comm_graph();
+        assert_eq!(g.edges(), &[CommEdge { a: 0, b: 1, weight: 3 }]);
+        assert_eq!(g.total_weight(), 3);
+    }
+
+    #[test]
+    fn triangle_is_not_bipartite() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1);
+        c.cnot(1, 2);
+        c.cnot(2, 0);
+        assert!(c.comm_graph().bipartition().is_none());
+    }
+
+    #[test]
+    fn even_ring_is_bipartite() {
+        let mut c = Circuit::new(4);
+        for i in 0..4 {
+            c.cnot(i, (i + 1) % 4);
+        }
+        let g = c.comm_graph();
+        let side = g.bipartition().expect("4-ring is bipartite");
+        for e in g.edges() {
+            assert_ne!(side[e.a], side[e.b]);
+        }
+        assert_eq!(g.cut_weight(&side), u64::from(g.total_weight()));
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let mut c = Circuit::new(5);
+        c.cnot(0, 1);
+        let side = c.comm_graph().bipartition().expect("bipartite");
+        assert_eq!(side.len(), 5);
+        assert_ne!(side[0], side[1]);
+    }
+
+    #[test]
+    fn weighted_degree_sums() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1);
+        c.cnot(0, 2);
+        c.cnot(0, 2);
+        let g = c.comm_graph();
+        assert_eq!(g.weighted_degree(0), 3);
+        assert_eq!(g.weighted_degree(2), 2);
+        assert_eq!(g.weight(0, 2), 2);
+        assert_eq!(g.weight(1, 2), 0);
+    }
+
+    #[test]
+    fn cut_weight_counts_crossings() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1);
+        c.cnot(1, 2);
+        let g = c.comm_graph();
+        assert_eq!(g.cut_weight(&[0, 1, 0]), 2);
+        assert_eq!(g.cut_weight(&[0, 0, 0]), 0);
+        assert_eq!(g.cut_weight(&[0, 0, 1]), 1);
+    }
+}

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or transforming a [`Circuit`].
+///
+/// [`Circuit`]: crate::Circuit
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit index `qubit` on a circuit with only
+    /// `qubits` logical qubits.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The number of qubits in the circuit.
+        qubits: usize,
+    },
+    /// A two-qubit gate was applied with identical control and target.
+    ControlEqualsTarget {
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CircuitError::QubitOutOfRange { qubit, qubits } => {
+                write!(f, "qubit index {qubit} out of range for {qubits}-qubit circuit")
+            }
+            CircuitError::ControlEqualsTarget { qubit } => {
+                write!(f, "control and target are both qubit {qubit}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}

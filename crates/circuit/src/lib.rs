@@ -1,0 +1,55 @@
+//! Quantum circuit intermediate representation for the Ecmas surface-code
+//! compiler reproduction.
+//!
+//! This crate provides everything the compiler needs to know about a logical
+//! circuit *before* it touches a chip:
+//!
+//! * [`Circuit`] — a gate list over `n` logical qubits. Single-qubit gates
+//!   are carried through faithfully but, per the paper (§III), only CNOT
+//!   gates matter for mapping and scheduling: single-qubit gates execute
+//!   locally inside a tile.
+//! * [`GateDag`] — the dependency DAG `G_P` over CNOT gates, with the
+//!   circuit depth `α`, per-gate ASAP/ALAP levels, criticality (longest path
+//!   to a sink) and exact descendant counts, all of which drive the
+//!   scheduler's gate priorities.
+//! * [`CommGraph`] — the communication graph `G_C` (vertices = logical
+//!   qubits, edge weights = CNOT multiplicities) that drives the initial
+//!   mapping and the cut-type initialization.
+//! * [`qasm`] — a self-contained OpenQASM 2.0 subset parser and writer
+//!   (no external quantum-SDK dependency).
+//! * [`benchmarks`] — generators for the named circuits of the paper's
+//!   evaluation (dnn, ising, QFT, BV, GHZ, …).
+//! * [`random`] — QUEKO-style layered random circuits with a specified
+//!   parallelism degree, used by the paper's Figures 11 and 12.
+//!
+//! # Example
+//!
+//! ```
+//! use ecmas_circuit::Circuit;
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0);
+//! c.cnot(0, 1);
+//! c.cnot(1, 2);
+//!
+//! let dag = c.dag();
+//! assert_eq!(dag.depth(), 2); // two dependent CNOTs
+//! assert!(c.comm_graph().bipartition().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod comm;
+mod dag;
+mod error;
+
+pub mod benchmarks;
+pub mod qasm;
+pub mod random;
+
+pub use circuit::{Circuit, CnotGate, Op, SingleGate};
+pub use comm::{CommEdge, CommGraph};
+pub use dag::{GateDag, GateId};
+pub use error::CircuitError;

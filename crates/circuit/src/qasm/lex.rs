@@ -1,0 +1,268 @@
+use super::QasmError;
+
+/// A lexical token with its 1-based source line (for error reporting).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword (`qreg`, `gate`, `h`, …).
+    Ident(String),
+    /// Numeric literal (integer or real).
+    Number(f64),
+    /// String literal, quotes stripped (only used by `include`).
+    Str(String),
+    Semicolon,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Arrow,
+    EqEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+}
+
+impl TokenKind {
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Number(v) => format!("number {v}"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Caret => "`^`".into(),
+        }
+    }
+}
+
+/// Tokenizes QASM source. `//` comments run to end of line.
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, QasmError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, line });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, line });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, line });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, line });
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token { kind: TokenKind::Caret, line });
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                    i += 2;
+                } else {
+                    return Err(QasmError::new(line, "stray `=` (expected `==`)"));
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\n' {
+                        return Err(QasmError::new(line, "unterminated string literal"));
+                    }
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(QasmError::new(line, "unterminated string literal"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(src[start..j].to_string()),
+                    line,
+                });
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit() || (c == '.' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) => {
+                let start = i;
+                let mut j = i;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() || d == '.' {
+                        j += 1;
+                    } else if (d == 'e' || d == 'E') && !seen_exp {
+                        seen_exp = true;
+                        j += 1;
+                        if matches!(bytes.get(j), Some(&b'+') | Some(&b'-')) {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..j];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| QasmError::new(line, format!("invalid number `{text}`")))?;
+                tokens.push(Token { kind: TokenKind::Number(value), line });
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(src[start..j].to_string()), line });
+                i = j;
+            }
+            _ => {
+                return Err(QasmError::new(line, format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("qreg q[3];"),
+            vec![
+                TokenKind::Ident("qreg".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(3.0),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_eqeq() {
+        assert_eq!(kinds("-> =="), vec![TokenKind::Arrow, TokenKind::EqEq]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(kinds("// hello\nh q;").len(), 3);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a;\nb;").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn lexes_scientific_notation() {
+        assert_eq!(kinds("1.5e-3"), vec![TokenKind::Number(1.5e-3)]);
+    }
+
+    #[test]
+    fn lexes_string() {
+        assert_eq!(kinds("\"qelib1.inc\""), vec![TokenKind::Str("qelib1.inc".into())]);
+    }
+
+    #[test]
+    fn rejects_stray_equals() {
+        assert!(lex("a = b").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+}

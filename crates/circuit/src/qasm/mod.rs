@@ -1,0 +1,86 @@
+//! A self-contained OpenQASM 2.0 subset front-end.
+//!
+//! The paper's benchmarks (IBM Qiskit, QASMbench, ScaffCC exports) ship as
+//! OpenQASM 2.0 files. Rust's quantum-circuit parsing ecosystem is thin, so
+//! this module implements the needed subset from scratch:
+//!
+//! * `OPENQASM 2.0;` header and `include "qelib1.inc";` (the standard
+//!   library is built in),
+//! * `qreg` / `creg` declarations (multiple registers are concatenated into
+//!   one global qubit index space),
+//! * built-in `U(θ,φ,λ)` and `CX`, the full `qelib1` gate set,
+//! * user `gate` definitions, expanded recursively at application time,
+//! * register broadcast (`h q;` applies to every qubit of `q`),
+//! * `measure`, `reset`, `barrier`,
+//! * constant expressions over `pi` with `+ - * / ^`, unary minus and the
+//!   spec's unary functions (`sin`, `cos`, `tan`, `exp`, `ln`, `sqrt`).
+//!
+//! `if (c==n) ...` conditions are parsed and the guarded gate is applied
+//! unconditionally: for worst-case scheduling a conditional gate still has
+//! to be placed, so this is the standard over-approximation. `opaque`
+//! declarations are rejected.
+//!
+//! Multi-qubit gates are decomposed into CNOTs plus single-qubit gates on
+//! insertion (see [`Circuit`]), so parsed circuits are immediately
+//! schedulable.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[2];
+//!     h q[0];
+//!     cx q[0], q[1];
+//! "#;
+//! let circuit = ecmas_circuit::qasm::parse(src)?;
+//! assert_eq!(circuit.qubits(), 2);
+//! assert_eq!(circuit.cnot_count(), 1);
+//! # Ok::<(), ecmas_circuit::qasm::QasmError>(())
+//! ```
+//!
+//! [`Circuit`]: crate::Circuit
+
+mod lex;
+mod parse;
+mod writer;
+
+pub use parse::parse;
+pub use writer::to_qasm;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while parsing OpenQASM source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QasmError {
+    line: usize,
+    message: String,
+}
+
+impl QasmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        QasmError { line, message: message.into() }
+    }
+
+    /// 1-based source line where the error was detected.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for QasmError {}

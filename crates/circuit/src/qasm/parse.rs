@@ -1,0 +1,1061 @@
+use std::collections::HashMap;
+use std::f64::consts::PI;
+
+use super::lex::{lex, Token, TokenKind};
+use super::QasmError;
+use crate::circuit::{Circuit, SingleGate};
+
+/// Parses OpenQASM 2.0 source into a [`Circuit`].
+///
+/// Multiple `qreg`s are concatenated into one global qubit index space in
+/// declaration order. See the [module docs](super) for the supported
+/// subset.
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] with the offending line on lexical errors,
+/// syntax errors, undeclared registers/gates, arity mismatches, broadcast
+/// size mismatches, or unsupported features (`opaque`, external includes).
+pub fn parse(src: &str) -> Result<Circuit, QasmError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser::new(tokens);
+    parser.run()?;
+    parser.finish()
+}
+
+/// A constant arithmetic expression over gate parameters.
+#[derive(Clone, Debug)]
+enum Expr {
+    Num(f64),
+    Pi,
+    Param(String),
+    Neg(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Func(UnaryFunc, Box<Expr>),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum UnaryFunc {
+    Sin,
+    Cos,
+    Tan,
+    Exp,
+    Ln,
+    Sqrt,
+}
+
+impl Expr {
+    fn eval(&self, env: &HashMap<String, f64>, line: usize) -> Result<f64, QasmError> {
+        Ok(match self {
+            Expr::Num(v) => *v,
+            Expr::Pi => PI,
+            Expr::Param(name) => *env
+                .get(name)
+                .ok_or_else(|| QasmError::new(line, format!("unknown parameter `{name}`")))?,
+            Expr::Neg(e) => -e.eval(env, line)?,
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(env, line)?, b.eval(env, line)?);
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Pow => a.powf(b),
+                }
+            }
+            Expr::Func(f, e) => {
+                let v = e.eval(env, line)?;
+                match f {
+                    UnaryFunc::Sin => v.sin(),
+                    UnaryFunc::Cos => v.cos(),
+                    UnaryFunc::Tan => v.tan(),
+                    UnaryFunc::Exp => v.exp(),
+                    UnaryFunc::Ln => v.ln(),
+                    UnaryFunc::Sqrt => v.sqrt(),
+                }
+            }
+        })
+    }
+}
+
+/// One call inside a user `gate` body. Qubit arguments are formal names
+/// (OpenQASM 2.0 forbids indexing inside gate bodies).
+#[derive(Clone, Debug)]
+struct BodyCall {
+    name: String,
+    line: usize,
+    params: Vec<Expr>,
+    qargs: Vec<String>,
+}
+
+#[derive(Clone, Debug)]
+struct GateDef {
+    params: Vec<String>,
+    qargs: Vec<String>,
+    body: Vec<BodyCall>,
+}
+
+/// A (possibly whole-register) qubit argument before broadcast resolution.
+#[derive(Clone, Debug)]
+struct QubitArg {
+    indices: Vec<usize>,
+    line: usize,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    qregs: Vec<(String, usize, usize)>,
+    cregs: HashMap<String, usize>,
+    defs: HashMap<String, GateDef>,
+    circuit: Circuit,
+    qubits: usize,
+}
+
+const MAX_EXPANSION_DEPTH: usize = 64;
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            qregs: Vec::new(),
+            cregs: HashMap::new(),
+            defs: HashMap::new(),
+            // Re-created once the final qubit count is known; Circuit is
+            // grown via a replacement because registers must be declared
+            // before use, so appending is always safe.
+            circuit: Circuit::new(0),
+            qubits: 0,
+        }
+    }
+
+    fn finish(self) -> Result<Circuit, QasmError> {
+        Ok(self.circuit)
+    }
+
+    // ---- token helpers ----------------------------------------------------
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<usize, QasmError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if t.kind == *kind => Ok(t.line),
+            Some(t) => Err(QasmError::new(
+                t.line,
+                format!("expected {}, found {}", kind.describe(), t.kind.describe()),
+            )),
+            None => Err(QasmError::new(line, format!("expected {}, found end of input", kind.describe()))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, usize), QasmError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token { kind: TokenKind::Ident(s), line }) => Ok((s, line)),
+            Some(t) => Err(QasmError::new(t.line, format!("expected identifier, found {}", t.kind.describe()))),
+            None => Err(QasmError::new(line, "expected identifier, found end of input")),
+        }
+    }
+
+    fn expect_uint(&mut self) -> Result<(usize, usize), QasmError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token { kind: TokenKind::Number(v), line }) => {
+                if v.fract() == 0.0 && v >= 0.0 {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    Ok((v as usize, line))
+                } else {
+                    Err(QasmError::new(line, format!("expected a non-negative integer, found {v}")))
+                }
+            }
+            Some(t) => Err(QasmError::new(t.line, format!("expected integer, found {}", t.kind.describe()))),
+            None => Err(QasmError::new(line, "expected integer, found end of input")),
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- top level ---------------------------------------------------------
+
+    fn run(&mut self) -> Result<(), QasmError> {
+        // Optional version header.
+        if let Some(TokenKind::Ident(id)) = self.peek() {
+            if id == "OPENQASM" {
+                self.next();
+                let line = self.line();
+                match self.next() {
+                    Some(Token { kind: TokenKind::Number(v), line }) if (2.0..3.0).contains(&v) => {
+                        let _ = line;
+                    }
+                    Some(Token { kind, line }) => {
+                        return Err(QasmError::new(
+                            line,
+                            format!("unsupported OPENQASM version {}", kind.describe()),
+                        ))
+                    }
+                    None => return Err(QasmError::new(line, "missing OPENQASM version")),
+                }
+                self.expect(&TokenKind::Semicolon)?;
+            }
+        }
+        while self.peek().is_some() {
+            self.statement()?;
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self) -> Result<(), QasmError> {
+        let (name, line) = self.expect_ident()?;
+        match name.as_str() {
+            "include" => {
+                let l = self.line();
+                match self.next() {
+                    Some(Token { kind: TokenKind::Str(path), line }) => {
+                        if path != "qelib1.inc" {
+                            return Err(QasmError::new(
+                                line,
+                                format!("only the built-in \"qelib1.inc\" include is supported, found \"{path}\""),
+                            ));
+                        }
+                    }
+                    _ => return Err(QasmError::new(l, "expected a string after `include`")),
+                }
+                self.expect(&TokenKind::Semicolon)?;
+            }
+            "qreg" => {
+                let (reg, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let (size, _) = self.expect_uint()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semicolon)?;
+                if self.qregs.iter().any(|(n, _, _)| *n == reg) {
+                    return Err(QasmError::new(line, format!("duplicate qreg `{reg}`")));
+                }
+                self.qregs.push((reg, self.qubits, size));
+                self.qubits += size;
+                // Grow the circuit, preserving existing ops.
+                let mut grown = Circuit::with_name(self.qubits, self.circuit.name().to_string());
+                grown.append_offset(&self.circuit.clone(), 0);
+                self.circuit = grown;
+            }
+            "creg" => {
+                let (reg, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let (size, _) = self.expect_uint()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semicolon)?;
+                self.cregs.insert(reg, size);
+            }
+            "gate" => self.gate_def()?,
+            "opaque" => {
+                return Err(QasmError::new(line, "`opaque` gates are not supported"));
+            }
+            "barrier" => {
+                // Consume (and ignore) the operand list.
+                while self.peek() != Some(&TokenKind::Semicolon) && self.peek().is_some() {
+                    self.next();
+                }
+                self.expect(&TokenKind::Semicolon)?;
+                self.circuit.barrier();
+            }
+            "measure" => {
+                let src = self.qubit_arg()?;
+                self.expect(&TokenKind::Arrow)?;
+                // Classical destination: ident with optional [index].
+                let (creg, cline) = self.expect_ident()?;
+                if !self.cregs.contains_key(&creg) {
+                    return Err(QasmError::new(cline, format!("undeclared creg `{creg}`")));
+                }
+                if self.eat(&TokenKind::LBracket) {
+                    self.expect_uint()?;
+                    self.expect(&TokenKind::RBracket)?;
+                }
+                self.expect(&TokenKind::Semicolon)?;
+                for q in src.indices {
+                    self.circuit.single(q, SingleGate::Measure);
+                }
+            }
+            "reset" => {
+                let arg = self.qubit_arg()?;
+                self.expect(&TokenKind::Semicolon)?;
+                for q in arg.indices {
+                    self.circuit.single(q, SingleGate::Reset);
+                }
+            }
+            "if" => {
+                // `if (creg == n) <qop>` — the guarded gate is applied
+                // unconditionally (worst-case scheduling over-approximation).
+                self.expect(&TokenKind::LParen)?;
+                self.expect_ident()?;
+                self.expect(&TokenKind::EqEq)?;
+                self.expect_uint()?;
+                self.expect(&TokenKind::RParen)?;
+                self.statement()?;
+            }
+            _ => self.gate_application(name, line)?,
+        }
+        Ok(())
+    }
+
+    // ---- gate definitions ---------------------------------------------------
+
+    fn gate_def(&mut self) -> Result<(), QasmError> {
+        let (name, line) = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen)
+            && !self.eat(&TokenKind::RParen) {
+                loop {
+                    let (p, _) = self.expect_ident()?;
+                    params.push(p);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+        let mut qargs = Vec::new();
+        loop {
+            let (q, _) = self.expect_ident()?;
+            qargs.push(q);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let (gname, gline) = self.expect_ident()?;
+            if gname == "barrier" {
+                while self.peek() != Some(&TokenKind::Semicolon) && self.peek().is_some() {
+                    self.next();
+                }
+                self.expect(&TokenKind::Semicolon)?;
+                continue;
+            }
+            let mut call = BodyCall { name: gname, line: gline, params: Vec::new(), qargs: Vec::new() };
+            if self.eat(&TokenKind::LParen)
+                && !self.eat(&TokenKind::RParen) {
+                    loop {
+                        call.params.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+            loop {
+                let (q, qline) = self.expect_ident()?;
+                if !qargs.contains(&q) {
+                    return Err(QasmError::new(
+                        qline,
+                        format!("`{q}` is not a formal qubit argument of gate `{name}`"),
+                    ));
+                }
+                call.qargs.push(q);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::Semicolon)?;
+            body.push(call);
+        }
+        if self.defs.contains_key(&name) {
+            return Err(QasmError::new(line, format!("duplicate gate definition `{name}`")));
+        }
+        self.defs.insert(name, GateDef { params, qargs, body });
+        Ok(())
+    }
+
+    // ---- applications ---------------------------------------------------------
+
+    fn gate_application(&mut self, name: String, line: usize) -> Result<(), QasmError> {
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen)
+            && !self.eat(&TokenKind::RParen) {
+                loop {
+                    params.push(self.expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+        let env = HashMap::new();
+        let mut values = Vec::with_capacity(params.len());
+        for p in &params {
+            values.push(p.eval(&env, line)?);
+        }
+        let mut args = Vec::new();
+        loop {
+            args.push(self.qubit_arg()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semicolon)?;
+
+        // Broadcast: whole-register args expand element-wise; registers must
+        // agree on size; single qubits repeat.
+        let broadcast = args.iter().map(|a| a.indices.len()).max().unwrap_or(1);
+        for a in &args {
+            if a.indices.len() != 1 && a.indices.len() != broadcast {
+                return Err(QasmError::new(
+                    a.line,
+                    format!(
+                        "broadcast size mismatch: register of size {} vs {}",
+                        a.indices.len(),
+                        broadcast
+                    ),
+                ));
+            }
+        }
+        for k in 0..broadcast {
+            let qubits: Vec<usize> = args
+                .iter()
+                .map(|a| if a.indices.len() == 1 { a.indices[0] } else { a.indices[k] })
+                .collect();
+            self.apply(&name, line, &values, &qubits, 0)?;
+        }
+        Ok(())
+    }
+
+    fn apply(
+        &mut self,
+        name: &str,
+        line: usize,
+        params: &[f64],
+        qubits: &[usize],
+        depth: usize,
+    ) -> Result<(), QasmError> {
+        if depth > MAX_EXPANSION_DEPTH {
+            return Err(QasmError::new(line, format!("gate `{name}` expansion recurses too deeply")));
+        }
+        let arity_err = |want_p: usize, want_q: usize| {
+            QasmError::new(
+                line,
+                format!(
+                    "gate `{name}` expects {want_p} parameter(s) and {want_q} qubit(s), got {} and {}",
+                    params.len(),
+                    qubits.len()
+                ),
+            )
+        };
+        let check = |want_p: usize, want_q: usize| {
+            if params.len() == want_p && qubits.len() == want_q {
+                Ok(())
+            } else {
+                Err(arity_err(want_p, want_q))
+            }
+        };
+        let distinct = |qs: &[usize]| -> Result<(), QasmError> {
+            for (i, a) in qs.iter().enumerate() {
+                for b in &qs[i + 1..] {
+                    if a == b {
+                        return Err(QasmError::new(
+                            line,
+                            format!("gate `{name}` applied with repeated qubit {a}"),
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        };
+        match name {
+            "U" | "u3" => {
+                check(3, 1)?;
+                self.circuit.single(qubits[0], SingleGate::U(params[0], params[1], params[2]));
+            }
+            "u2" => {
+                check(2, 1)?;
+                self.circuit
+                    .single(qubits[0], SingleGate::U(PI / 2.0, params[0], params[1]));
+            }
+            "u1" | "p" | "u0" => {
+                check(1, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Phase(params[0]));
+            }
+            "CX" | "cx" => {
+                check(0, 2)?;
+                distinct(qubits)?;
+                self.circuit.cnot(qubits[0], qubits[1]);
+            }
+            "h" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::H);
+            }
+            "x" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::X);
+            }
+            "y" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Y);
+            }
+            "z" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Z);
+            }
+            "s" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::S);
+            }
+            "sdg" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Sdg);
+            }
+            "t" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::T);
+            }
+            "tdg" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Tdg);
+            }
+            "sx" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Rx(PI / 2.0));
+            }
+            "sxdg" => {
+                check(0, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Rx(-PI / 2.0));
+            }
+            "rx" => {
+                check(1, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Rx(params[0]));
+            }
+            "ry" => {
+                check(1, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Ry(params[0]));
+            }
+            "rz" => {
+                check(1, 1)?;
+                self.circuit.single(qubits[0], SingleGate::Rz(params[0]));
+            }
+            "id" => {
+                check(0, 1)?;
+            }
+            "cz" => {
+                check(0, 2)?;
+                distinct(qubits)?;
+                self.circuit.cz(qubits[0], qubits[1]);
+            }
+            "cy" => {
+                check(0, 2)?;
+                distinct(qubits)?;
+                self.circuit.single(qubits[1], SingleGate::Sdg);
+                self.circuit.cnot(qubits[0], qubits[1]);
+                self.circuit.single(qubits[1], SingleGate::S);
+            }
+            "ch" => {
+                check(0, 2)?;
+                distinct(qubits)?;
+                let (a, b) = (qubits[0], qubits[1]);
+                self.circuit.h(b);
+                self.circuit.single(b, SingleGate::Sdg);
+                self.circuit.cnot(a, b);
+                self.circuit.h(b);
+                self.circuit.t(b);
+                self.circuit.cnot(a, b);
+                self.circuit.t(b);
+                self.circuit.h(b);
+                self.circuit.single(b, SingleGate::S);
+                self.circuit.x(b);
+                self.circuit.single(a, SingleGate::S);
+            }
+            "swap" => {
+                check(0, 2)?;
+                distinct(qubits)?;
+                self.circuit.swap(qubits[0], qubits[1]);
+            }
+            "cp" | "cu1" => {
+                check(1, 2)?;
+                distinct(qubits)?;
+                self.circuit.cp(qubits[0], qubits[1], params[0]);
+            }
+            "crz" => {
+                check(1, 2)?;
+                distinct(qubits)?;
+                let (c, t) = (qubits[0], qubits[1]);
+                self.circuit.rz(t, params[0] / 2.0);
+                self.circuit.cnot(c, t);
+                self.circuit.rz(t, -params[0] / 2.0);
+                self.circuit.cnot(c, t);
+            }
+            "cry" => {
+                check(1, 2)?;
+                distinct(qubits)?;
+                self.circuit.cry(qubits[0], qubits[1], params[0]);
+            }
+            "crx" => {
+                check(1, 2)?;
+                distinct(qubits)?;
+                let (c, t) = (qubits[0], qubits[1]);
+                self.circuit.h(t);
+                self.circuit.rz(t, params[0] / 2.0);
+                self.circuit.cnot(c, t);
+                self.circuit.rz(t, -params[0] / 2.0);
+                self.circuit.cnot(c, t);
+                self.circuit.h(t);
+            }
+            "cu3" => {
+                check(3, 2)?;
+                distinct(qubits)?;
+                let (c, t) = (qubits[0], qubits[1]);
+                let (theta, phi, lambda) = (params[0], params[1], params[2]);
+                self.circuit.phase(c, (lambda + phi) / 2.0);
+                self.circuit.phase(t, (lambda - phi) / 2.0);
+                self.circuit.cnot(c, t);
+                self.circuit.single(t, SingleGate::U(-theta / 2.0, 0.0, -(phi + lambda) / 2.0));
+                self.circuit.cnot(c, t);
+                self.circuit.single(t, SingleGate::U(theta / 2.0, phi, 0.0));
+            }
+            "rzz" => {
+                check(1, 2)?;
+                distinct(qubits)?;
+                let (a, b) = (qubits[0], qubits[1]);
+                self.circuit.cnot(a, b);
+                self.circuit.phase(b, params[0]);
+                self.circuit.cnot(a, b);
+            }
+            "ccx" => {
+                check(0, 3)?;
+                distinct(qubits)?;
+                self.circuit.ccx(qubits[0], qubits[1], qubits[2]);
+            }
+            "cswap" => {
+                check(0, 3)?;
+                distinct(qubits)?;
+                self.circuit.cswap(qubits[0], qubits[1], qubits[2]);
+            }
+            _ => {
+                let def = self
+                    .defs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| QasmError::new(line, format!("unknown gate `{name}`")))?;
+                if def.params.len() != params.len() || def.qargs.len() != qubits.len() {
+                    return Err(arity_err(def.params.len(), def.qargs.len()));
+                }
+                let env: HashMap<String, f64> =
+                    def.params.iter().cloned().zip(params.iter().copied()).collect();
+                let qmap: HashMap<&str, usize> = def
+                    .qargs
+                    .iter()
+                    .map(String::as_str)
+                    .zip(qubits.iter().copied())
+                    .collect();
+                for call in &def.body {
+                    let mut vals = Vec::with_capacity(call.params.len());
+                    for p in &call.params {
+                        vals.push(p.eval(&env, call.line)?);
+                    }
+                    let qs: Vec<usize> = call.qargs.iter().map(|q| qmap[q.as_str()]).collect();
+                    self.apply(&call.name, call.line, &vals, &qs, depth + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `reg` or `reg[i]`, resolving to global qubit indices.
+    fn qubit_arg(&mut self) -> Result<QubitArg, QasmError> {
+        let (reg, line) = self.expect_ident()?;
+        let &(_, offset, size) = self
+            .qregs
+            .iter()
+            .find(|(n, _, _)| *n == reg)
+            .ok_or_else(|| QasmError::new(line, format!("undeclared qreg `{reg}`")))?;
+        if self.eat(&TokenKind::LBracket) {
+            let (idx, iline) = self.expect_uint()?;
+            self.expect(&TokenKind::RBracket)?;
+            if idx >= size {
+                return Err(QasmError::new(
+                    iline,
+                    format!("index {idx} out of range for qreg `{reg}[{size}]`"),
+                ));
+            }
+            Ok(QubitArg { indices: vec![offset + idx], line })
+        } else {
+            Ok(QubitArg { indices: (offset..offset + size).collect(), line })
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, QasmError> {
+        self.expr_add()
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.expr_mul()?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                let rhs = self.expr_mul()?;
+                lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&TokenKind::Minus) {
+                let rhs = self.expr_mul()?;
+                lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.expr_unary()?;
+        loop {
+            if self.eat(&TokenKind::Star) {
+                let rhs = self.expr_unary()?;
+                lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&TokenKind::Slash) {
+                let rhs = self.expr_unary()?;
+                lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr, QasmError> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(Expr::Neg(Box::new(self.expr_unary()?)));
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.expr_unary();
+        }
+        self.expr_pow()
+    }
+
+    fn expr_pow(&mut self) -> Result<Expr, QasmError> {
+        let base = self.expr_atom()?;
+        if self.eat(&TokenKind::Caret) {
+            // Right-associative exponentiation.
+            let exp = self.expr_unary()?;
+            Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn expr_atom(&mut self) -> Result<Expr, QasmError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token { kind: TokenKind::Number(v), .. }) => Ok(Expr::Num(v)),
+            Some(Token { kind: TokenKind::Ident(id), line: _ }) => match id.as_str() {
+                "pi" => Ok(Expr::Pi),
+                "sin" | "cos" | "tan" | "exp" | "ln" | "sqrt" => {
+                    self.expect(&TokenKind::LParen)?;
+                    let inner = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let f = match id.as_str() {
+                        "sin" => UnaryFunc::Sin,
+                        "cos" => UnaryFunc::Cos,
+                        "tan" => UnaryFunc::Tan,
+                        "exp" => UnaryFunc::Exp,
+                        "ln" => UnaryFunc::Ln,
+                        _ => UnaryFunc::Sqrt,
+                    };
+                    Ok(Expr::Func(f, Box::new(inner)))
+                }
+                _ => Ok(Expr::Param(id)),
+            },
+            Some(Token { kind: TokenKind::LParen, .. }) => {
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            Some(t) => Err(QasmError::new(t.line, format!("expected expression, found {}", t.kind.describe()))),
+            None => Err(QasmError::new(line, "expected expression, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Op;
+
+    const HEADER: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+    fn parse_ok(body: &str) -> Circuit {
+        parse(&format!("{HEADER}{body}")).expect("parse failure")
+    }
+
+    #[test]
+    fn parses_bell_pair() {
+        let c = parse_ok("qreg q[2];\nh q[0];\ncx q[0], q[1];\n");
+        assert_eq!(c.qubits(), 2);
+        assert_eq!(c.cnot_count(), 1);
+    }
+
+    #[test]
+    fn broadcast_applies_to_register() {
+        let c = parse_ok("qreg q[4];\nh q;\n");
+        assert_eq!(c.op_count(), 4);
+    }
+
+    #[test]
+    fn broadcast_cx_pairs_registers() {
+        let c = parse_ok("qreg a[3];\nqreg b[3];\ncx a, b;\n");
+        assert_eq!(c.cnot_count(), 3);
+        assert_eq!(c.cnot_gates()[1].control, 1);
+        assert_eq!(c.cnot_gates()[1].target, 4); // second qreg offset by 3
+    }
+
+    #[test]
+    fn broadcast_scalar_against_register() {
+        let c = parse_ok("qreg a[1];\nqreg b[3];\ncx a[0], b;\n");
+        assert_eq!(c.cnot_count(), 3);
+        assert!(c.cnot_gates().iter().all(|g| g.control == 0));
+    }
+
+    #[test]
+    fn broadcast_size_mismatch_errors() {
+        let err = parse(&format!("{HEADER}qreg a[2];\nqreg b[3];\ncx a, b;\n")).unwrap_err();
+        assert!(err.message().contains("broadcast"));
+    }
+
+    #[test]
+    fn user_gate_expansion() {
+        let c = parse_ok(
+            "qreg q[2];\ngate bell a, b { h a; cx a, b; }\nbell q[0], q[1];\n",
+        );
+        assert_eq!(c.cnot_count(), 1);
+        assert_eq!(c.op_count(), 2);
+    }
+
+    #[test]
+    fn parameterized_user_gate() {
+        let c = parse_ok(
+            "qreg q[1];\ngate tilt(t) a { rz(t/2) a; }\ntilt(pi) q[0];\n",
+        );
+        match c.ops()[0] {
+            Op::Single { kind: SingleGate::Rz(v), .. } => {
+                assert!((v - PI / 2.0).abs() < 1e-12);
+            }
+            ref other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_user_gates() {
+        let c = parse_ok(
+            "qreg q[3];\n\
+             gate pair a, b { cx a, b; }\n\
+             gate trio a, b, c { pair a, b; pair b, c; }\n\
+             trio q[0], q[1], q[2];\n",
+        );
+        assert_eq!(c.cnot_count(), 2);
+    }
+
+    #[test]
+    fn ccx_decomposes_to_six_cnots() {
+        let c = parse_ok("qreg q[3];\nccx q[0], q[1], q[2];\n");
+        assert_eq!(c.cnot_count(), 6);
+    }
+
+    #[test]
+    fn measure_whole_register() {
+        let c = parse_ok("qreg q[2];\ncreg c[2];\nmeasure q -> c;\n");
+        assert_eq!(c.op_count(), 2);
+    }
+
+    #[test]
+    fn if_applies_unconditionally() {
+        let c = parse_ok("qreg q[2];\ncreg c[1];\nif (c==1) cx q[0], q[1];\n");
+        assert_eq!(c.cnot_count(), 1);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let c = parse_ok("qreg q[1];\nrz(1 + 2 * 3) q[0];\n");
+        match c.ops()[0] {
+            Op::Single { kind: SingleGate::Rz(v), .. } => assert!((v - 7.0).abs() < 1e-12),
+            ref other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_and_functions() {
+        let c = parse_ok("qreg q[1];\nrz(-cos(0)) q[0];\n");
+        match c.ops()[0] {
+            Op::Single { kind: SingleGate::Rz(v), .. } => assert!((v + 1.0).abs() < 1e-12),
+            ref other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_register_errors() {
+        let err = parse(&format!("{HEADER}h nope[0];\n")).unwrap_err();
+        assert!(err.message().contains("undeclared"));
+    }
+
+    #[test]
+    fn unknown_gate_errors_with_line() {
+        let err = parse(&format!("{HEADER}qreg q[1];\nfrobnicate q[0];\n")).unwrap_err();
+        assert_eq!(err.line(), 4);
+        assert!(err.message().contains("frobnicate"));
+    }
+
+    #[test]
+    fn out_of_range_index_errors() {
+        let err = parse(&format!("{HEADER}qreg q[2];\nh q[2];\n")).unwrap_err();
+        assert!(err.message().contains("out of range"));
+    }
+
+    #[test]
+    fn opaque_rejected() {
+        let err = parse(&format!("{HEADER}opaque magic q;\n")).unwrap_err();
+        assert!(err.message().contains("opaque"));
+    }
+
+    #[test]
+    fn external_include_rejected() {
+        let err = parse("OPENQASM 2.0;\ninclude \"other.inc\";\n").unwrap_err();
+        assert!(err.message().contains("other.inc"));
+    }
+
+    #[test]
+    fn repeated_qubit_in_cx_rejected() {
+        let err = parse(&format!("{HEADER}qreg q[2];\ncx q[0], q[0];\n")).unwrap_err();
+        assert!(err.message().contains("repeated qubit"));
+    }
+
+    #[test]
+    fn version_3_rejected() {
+        assert!(parse("OPENQASM 3.0;\n").is_err());
+    }
+
+    #[test]
+    fn multiple_qregs_concatenate() {
+        let c = parse_ok("qreg a[2];\nqreg b[3];\ncx a[1], b[0];\n");
+        assert_eq!(c.qubits(), 5);
+        assert_eq!(c.cnot_gates()[0].control, 1);
+        assert_eq!(c.cnot_gates()[0].target, 2);
+    }
+}
+
+#[cfg(test)]
+mod gate_set_tests {
+    use super::*;
+
+    const HEADER: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+    fn cnots(body: &str) -> usize {
+        parse(&format!("{HEADER}{body}")).expect("parse").cnot_count()
+    }
+
+    #[test]
+    fn two_cnot_controlled_gates() {
+        for gate in ["cp(pi/2)", "cu1(pi/4)", "crz(pi/8)", "cry(0.3)", "crx(0.7)", "rzz(0.2)"] {
+            assert_eq!(cnots(&format!("qreg q[2];\n{gate} q[0], q[1];\n")), 2, "{gate}");
+        }
+        assert_eq!(cnots("qreg q[2];\ncu3(0.1,0.2,0.3) q[0], q[1];\n"), 2);
+        assert_eq!(cnots("qreg q[2];\nch q[0], q[1];\n"), 2);
+    }
+
+    #[test]
+    fn one_cnot_controlled_gates() {
+        for gate in ["cz", "cy"] {
+            assert_eq!(cnots(&format!("qreg q[2];\n{gate} q[0], q[1];\n")), 1, "{gate}");
+        }
+    }
+
+    #[test]
+    fn single_qubit_extensions() {
+        let c = parse(&format!("{HEADER}qreg q[1];\nsx q[0];\nsxdg q[0];\nu2(0,pi) q[0];\nid q[0];\nu0(0) q[0];\n"))
+            .expect("parse");
+        assert_eq!(c.cnot_count(), 0);
+        assert!(c.op_count() >= 4);
+    }
+
+    #[test]
+    fn reset_broadcasts() {
+        let c = parse(&format!("{HEADER}qreg q[3];\nreset q;\n")).expect("parse");
+        assert_eq!(c.op_count(), 3);
+    }
+
+    #[test]
+    fn nested_if_applies_inner_gate() {
+        let c = parse(&format!(
+            "{HEADER}qreg q[2];\ncreg c[1];\nif (c==0) if (c==1) cx q[0], q[1];\n"
+        ))
+        .expect("parse");
+        assert_eq!(c.cnot_count(), 1);
+    }
+
+    #[test]
+    fn empty_parameter_parens_allowed() {
+        let c = parse(&format!("{HEADER}qreg q[1];\ngate flip() a {{ x a; }}\nflip() q[0];\n"))
+            .expect("parse");
+        assert_eq!(c.op_count(), 1);
+    }
+
+    #[test]
+    fn exponent_expression() {
+        let c = parse(&format!("{HEADER}qreg q[1];\nrz(2^3) q[0];\n")).expect("parse");
+        match c.ops()[0] {
+            crate::circuit::Op::Single { kind: SingleGate::Rz(v), .. } => {
+                assert!((v - 8.0).abs() < 1e-12);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursion_depth_guard() {
+        // A self-recursive gate must error, not stack-overflow. (Forward
+        // references are rejected at definition time, so build recursion
+        // through the expansion depth limit with nesting.)
+        let mut defs = String::new();
+        defs.push_str("gate g0 a { x a; }\n");
+        for k in 1..=70 {
+            defs.push_str(&format!("gate g{k} a {{ g{} a; }}\n", k - 1));
+        }
+        let err = parse(&format!("{HEADER}qreg q[1];\n{defs}g70 q[0];\n"));
+        assert!(err.is_err(), "deep nesting beyond the limit must be rejected");
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let err = parse(&format!("{HEADER}gate twice a {{ x a; }}\ngate twice a {{ x a; }}\n"))
+            .unwrap_err();
+        assert!(err.message().contains("duplicate"));
+        let err = parse(&format!("{HEADER}qreg q[1];\nqreg q[2];\n")).unwrap_err();
+        assert!(err.message().contains("duplicate"));
+    }
+}

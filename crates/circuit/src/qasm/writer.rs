@@ -1,0 +1,161 @@
+use std::fmt::Write as _;
+
+use crate::circuit::{Circuit, Op, SingleGate};
+
+/// Serializes a [`Circuit`] to OpenQASM 2.0 source.
+///
+/// All qubits are emitted into a single register `q[n]`; measurements go to
+/// a classical register `c[n]` at the matching index. The output uses only
+/// `qelib1` gates and round-trips through [`parse`](super::parse) (CNOT
+/// lists compare equal; decomposed multi-qubit gates stay decomposed).
+///
+/// # Example
+///
+/// ```
+/// use ecmas_circuit::{qasm, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cnot(0, 1);
+/// let src = qasm::to_qasm(&c);
+/// let back = qasm::parse(&src)?;
+/// assert_eq!(back.cnot_gates(), c.cnot_gates());
+/// # Ok::<(), qasm::QasmError>(())
+/// ```
+#[must_use]
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let n = circuit.qubits();
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    if !circuit.name().is_empty() {
+        let _ = writeln!(out, "// circuit: {}", circuit.name());
+    }
+    let _ = writeln!(out, "qreg q[{n}];");
+    let needs_creg = circuit
+        .ops()
+        .iter()
+        .any(|op| matches!(op, Op::Single { kind: SingleGate::Measure, .. }));
+    if needs_creg {
+        let _ = writeln!(out, "creg c[{n}];");
+    }
+    for op in circuit.ops() {
+        match *op {
+            Op::Cnot { control, target } => {
+                let _ = writeln!(out, "cx q[{control}], q[{target}];");
+            }
+            Op::Barrier => {
+                let _ = writeln!(out, "barrier q;");
+            }
+            Op::Single { qubit, kind } => match kind {
+                SingleGate::H => {
+                    let _ = writeln!(out, "h q[{qubit}];");
+                }
+                SingleGate::X => {
+                    let _ = writeln!(out, "x q[{qubit}];");
+                }
+                SingleGate::Y => {
+                    let _ = writeln!(out, "y q[{qubit}];");
+                }
+                SingleGate::Z => {
+                    let _ = writeln!(out, "z q[{qubit}];");
+                }
+                SingleGate::S => {
+                    let _ = writeln!(out, "s q[{qubit}];");
+                }
+                SingleGate::Sdg => {
+                    let _ = writeln!(out, "sdg q[{qubit}];");
+                }
+                SingleGate::T => {
+                    let _ = writeln!(out, "t q[{qubit}];");
+                }
+                SingleGate::Tdg => {
+                    let _ = writeln!(out, "tdg q[{qubit}];");
+                }
+                SingleGate::Rx(a) => {
+                    let _ = writeln!(out, "rx({a}) q[{qubit}];");
+                }
+                SingleGate::Ry(a) => {
+                    let _ = writeln!(out, "ry({a}) q[{qubit}];");
+                }
+                SingleGate::Rz(a) => {
+                    let _ = writeln!(out, "rz({a}) q[{qubit}];");
+                }
+                SingleGate::Phase(a) => {
+                    let _ = writeln!(out, "u1({a}) q[{qubit}];");
+                }
+                SingleGate::U(t, p, l) => {
+                    let _ = writeln!(out, "u3({t},{p},{l}) q[{qubit}];");
+                }
+                SingleGate::Measure => {
+                    let _ = writeln!(out, "measure q[{qubit}] -> c[{qubit}];");
+                }
+                SingleGate::Reset => {
+                    let _ = writeln!(out, "reset q[{qubit}];");
+                }
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm::parse;
+
+    #[test]
+    fn round_trip_preserves_cnots() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cnot(0, 1);
+        c.ccx(1, 2, 3);
+        c.rz(2, 0.25);
+        c.swap(0, 3);
+        let back = parse(&to_qasm(&c)).expect("round trip parse");
+        assert_eq!(back.cnot_gates(), c.cnot_gates());
+        assert_eq!(back.qubits(), c.qubits());
+        assert_eq!(back.op_count(), c.op_count());
+    }
+
+    #[test]
+    fn measure_emits_creg() {
+        let mut c = Circuit::new(2);
+        c.single(0, SingleGate::Measure);
+        let src = to_qasm(&c);
+        assert!(src.contains("creg c[2];"));
+        assert!(src.contains("measure q[0] -> c[0];"));
+        parse(&src).expect("round trip parse");
+    }
+
+    #[test]
+    fn no_measure_no_creg() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert!(!to_qasm(&c).contains("creg"));
+    }
+
+    #[test]
+    fn all_single_gates_round_trip() {
+        let mut c = Circuit::new(1);
+        for kind in [
+            SingleGate::H,
+            SingleGate::X,
+            SingleGate::Y,
+            SingleGate::Z,
+            SingleGate::S,
+            SingleGate::Sdg,
+            SingleGate::T,
+            SingleGate::Tdg,
+            SingleGate::Rx(0.5),
+            SingleGate::Ry(-0.5),
+            SingleGate::Rz(1.5),
+            SingleGate::Phase(2.5),
+            SingleGate::U(0.1, 0.2, 0.3),
+            SingleGate::Reset,
+        ] {
+            c.single(0, kind);
+        }
+        let back = parse(&to_qasm(&c)).expect("round trip parse");
+        assert_eq!(back.op_count(), c.op_count());
+    }
+}

@@ -1,0 +1,127 @@
+//! QUEKO-style layered random circuits with a specified parallelism degree.
+//!
+//! The paper's scalability studies (Figs. 11 and 12) use "50 random quantum
+//! circuits … with 49 qubits, 50 depth, and parallelism ranging from 1 to
+//! 21", generated in the spirit of QUEKO \[35\]: circuits built layer by
+//! layer with a known depth. [`layered`] reproduces the construction: every
+//! layer holds exactly `parallelism` pairwise-disjoint CNOTs, and an anchor
+//! chain threads one gate of each layer through the previous layer so the
+//! circuit depth is exactly `depth`.
+//!
+//! # Example
+//!
+//! ```
+//! use ecmas_circuit::random::layered;
+//!
+//! let c = layered(49, 50, 7, 12345);
+//! assert_eq!(c.qubits(), 49);
+//! assert_eq!(c.depth(), 50);
+//! assert_eq!(c.cnot_count(), 50 * 7);
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+
+/// Generates a layered random circuit with exactly `parallelism` disjoint
+/// CNOTs per layer and depth exactly `depth` (an anchor qubit chains the
+/// layers). Deterministic in `seed`.
+///
+/// This is the Circuit Parallelism Degree knob of the paper's Figs. 11–12:
+/// by construction `PM ≤ parallelism`, and the anchor chain keeps the
+/// critical path at `depth`, so the balanced layering that achieves depth
+/// `α` has layers of exactly `parallelism` gates.
+///
+/// # Panics
+///
+/// Panics if `2 * parallelism > n` (layers would need repeated qubits) or
+/// if `parallelism == 0`.
+#[must_use]
+pub fn layered(n: usize, depth: usize, parallelism: usize, seed: u64) -> Circuit {
+    assert!(parallelism > 0, "parallelism must be positive");
+    assert!(2 * parallelism <= n, "a layer of {parallelism} CNOTs needs {} qubits", 2 * parallelism);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("random_n{n}_d{depth}_p{parallelism}"));
+    let mut anchor: Option<usize> = None;
+    let mut pool: Vec<usize> = (0..n).collect();
+    for _ in 0..depth {
+        pool.shuffle(&mut rng);
+        // Force the anchor qubit into the first pair so that this layer
+        // depends on the previous one.
+        if let Some(a) = anchor {
+            let pos = pool.iter().position(|&q| q == a).expect("anchor in pool");
+            pool.swap(0, pos);
+        }
+        let mut layer = Vec::with_capacity(parallelism);
+        for k in 0..parallelism {
+            let (x, y) = (pool[2 * k], pool[2 * k + 1]);
+            if rng.gen_bool(0.5) {
+                layer.push((x, y));
+            } else {
+                layer.push((y, x));
+            }
+        }
+        for &(ctl, tgt) in &layer {
+            c.cnot(ctl, tgt);
+        }
+        let (a0, a1) = layer[0];
+        anchor = Some(if rng.gen_bool(0.5) { a0 } else { a1 });
+    }
+    c
+}
+
+/// Generates `count` circuits with consecutive seeds, as the paper's "test
+/// group" of 50 circuits per parallelism value.
+#[must_use]
+pub fn test_group(n: usize, depth: usize, parallelism: usize, count: usize, seed: u64) -> Vec<Circuit> {
+    (0..count)
+        .map(|i| layered(n, depth, parallelism, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_exact() {
+        for pm in [1, 3, 9, 21] {
+            let c = layered(49, 50, pm, 7);
+            assert_eq!(c.depth(), 50, "pm={pm}");
+            assert_eq!(c.cnot_count(), 50 * pm);
+        }
+    }
+
+    #[test]
+    fn layers_are_disjoint() {
+        let c = layered(20, 30, 8, 99);
+        for layer in c.cnot_gates().chunks(8) {
+            let mut seen = std::collections::HashSet::new();
+            for g in layer {
+                assert!(seen.insert(g.control), "control reused in layer");
+                assert!(seen.insert(g.target), "target reused in layer");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(layered(16, 10, 4, 42), layered(16, 10, 4, 42));
+        assert_ne!(layered(16, 10, 4, 42), layered(16, 10, 4, 43));
+    }
+
+    #[test]
+    fn test_group_uses_distinct_seeds() {
+        let group = test_group(12, 6, 3, 4, 0);
+        assert_eq!(group.len(), 4);
+        assert_ne!(group[0], group[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn rejects_oversized_parallelism() {
+        let _ = layered(10, 5, 6, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The Ecmas compiler facade: pre-processing + transforming (Fig. 9).
+
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::Circuit;
+
+use crate::cut::{initialize_cuts, CutInitStrategy};
+use crate::encoded::EncodedCircuit;
+use crate::engine::{schedule_limited, CutPolicy, GateOrder, ScheduleConfig};
+use crate::error::CompileError;
+use crate::mapping::{adjust_bandwidth, initial_mapping, LocationStrategy};
+use crate::profile::para_finding;
+use crate::resu::schedule_sufficient;
+
+/// Compiler configuration: every knob the paper ablates, with the paper's
+/// choices as [`Default`].
+///
+/// # Example
+///
+/// ```
+/// use ecmas::{Ecmas, EcmasConfig};
+/// use ecmas_chip::{Chip, CodeModel};
+/// use ecmas_circuit::benchmarks::ghz;
+///
+/// let circuit = ghz(9);
+/// let chip = Chip::min_viable(CodeModel::LatticeSurgery, 9, 3)?;
+/// let encoded = Ecmas::new(EcmasConfig::default()).compile(&circuit, &chip)?;
+/// assert_eq!(encoded.cycles() as usize, circuit.depth()); // Δ = α here
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EcmasConfig {
+    /// Initial tile-location strategy (Table II).
+    pub location: LocationStrategy,
+    /// Initial cut-type strategy for double defect (Table III).
+    pub cut_init: CutInitStrategy,
+    /// Gate ordering within a cycle (Table IV).
+    pub order: GateOrder,
+    /// Same-cut-type decision policy (Table V).
+    pub cut_policy: CutPolicy,
+    /// Whether to run the bandwidth-adjusting pre-processing step.
+    pub adjust_bandwidth: bool,
+}
+
+impl Default for EcmasConfig {
+    fn default() -> Self {
+        EcmasConfig {
+            location: LocationStrategy::Ecmas { restarts: 8, seed: 0xEC4A5 },
+            cut_init: CutInitStrategy::GreedyBipartitePrefix,
+            order: GateOrder::Priority,
+            cut_policy: CutPolicy::Adaptive,
+            adjust_bandwidth: true,
+        }
+    }
+}
+
+/// The resource-adaptive mapping-and-scheduling compiler (§IV).
+///
+/// `compile` runs the limited-resources pipeline (Algorithm 1);
+/// [`compile_resu`](Self::compile_resu) runs Ecmas-ReSu (Algorithm 2) and
+/// expects a sufficient-resources chip (see [`Chip::sufficient`]).
+#[derive(Clone, Debug, Default)]
+pub struct Ecmas {
+    config: EcmasConfig,
+}
+
+impl Ecmas {
+    /// Creates a compiler with the given configuration.
+    #[must_use]
+    pub fn new(config: EcmasConfig) -> Self {
+        Ecmas { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EcmasConfig {
+        &self.config
+    }
+
+    /// Full pipeline for limited resources: profile, map, adjust
+    /// bandwidth, initialize cut types, schedule with Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::TooManyQubits`] if the circuit does not fit
+    /// the chip, or a scheduling error on internal model violations.
+    pub fn compile(&self, circuit: &Circuit, chip: &Chip) -> Result<EncodedCircuit, CompileError> {
+        let dag = circuit.dag();
+        let comm = circuit.comm_graph();
+        let mapping = initial_mapping(&comm, chip, self.config.location)?;
+        let cuts = match chip.model() {
+            CodeModel::DoubleDefect => Some(initialize_cuts(&dag, &comm, self.config.cut_init)),
+            CodeModel::LatticeSurgery => None,
+        };
+        let schedule_config =
+            ScheduleConfig { order: self.config.order, cut_policy: self.config.cut_policy };
+        let base = schedule_limited(&dag, chip, &mapping, cuts.as_deref(), schedule_config)?;
+        if !self.config.adjust_bandwidth {
+            return Ok(base);
+        }
+        // Bandwidth adjusting is a candidate, not a commitment: stealing a
+        // lane from a lightly-used channel can cost node-disjoint detours
+        // more than the hot channel gains, so the cheaper schedule wins
+        // (the paper's select-best-candidate spirit, Fig. 10c).
+        let adjusted_chip = adjust_bandwidth(chip, &mapping, &comm);
+        if adjusted_chip == *chip {
+            return Ok(base);
+        }
+        let adjusted =
+            schedule_limited(&dag, &adjusted_chip, &mapping, cuts.as_deref(), schedule_config)?;
+        Ok(if adjusted.cycles() < base.cycles() { adjusted } else { base })
+    }
+
+    /// Ecmas-ReSu: Para-Finding layering plus Algorithm 2 batching.
+    /// Intended for chips built with [`Chip::sufficient`]; on smaller chips
+    /// congested layers spill into extra cycles but the result stays valid.
+    ///
+    /// # Errors
+    ///
+    /// As [`compile`](Self::compile).
+    pub fn compile_resu(
+        &self,
+        circuit: &Circuit,
+        chip: &Chip,
+    ) -> Result<EncodedCircuit, CompileError> {
+        let dag = circuit.dag();
+        let comm = circuit.comm_graph();
+        let scheme = para_finding(&dag);
+        let mapping = initial_mapping(&comm, chip, self.config.location)?;
+        let chip = if self.config.adjust_bandwidth {
+            adjust_bandwidth(chip, &mapping, &comm)
+        } else {
+            chip.clone()
+        };
+        schedule_sufficient(&dag, &scheme, &chip, &mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoded::validate_encoded;
+    use ecmas_circuit::benchmarks;
+
+    #[test]
+    fn default_pipeline_compiles_and_validates_dd() {
+        let c = benchmarks::ising_n10();
+        let chip = Chip::min_viable(CodeModel::DoubleDefect, 10, 3).unwrap();
+        let enc = Ecmas::default().compile(&c, &chip).unwrap();
+        validate_encoded(&c, &enc).unwrap();
+        assert_eq!(enc.cycles() as usize, c.depth(), "bipartite ising hits α");
+    }
+
+    #[test]
+    fn default_pipeline_compiles_and_validates_ls() {
+        let c = benchmarks::ising_n10();
+        let chip = Chip::min_viable(CodeModel::LatticeSurgery, 10, 3).unwrap();
+        let enc = Ecmas::default().compile(&c, &chip).unwrap();
+        validate_encoded(&c, &enc).unwrap();
+        assert!(enc.cycles() as usize >= c.depth());
+    }
+
+    #[test]
+    fn resu_ls_hits_alpha() {
+        let c = benchmarks::dnn_n8();
+        let scheme = crate::para_finding(&c.dag());
+        let chip = Chip::sufficient(CodeModel::LatticeSurgery, 8, scheme.gpm(), 3).unwrap();
+        let enc = Ecmas::default().compile_resu(&c, &chip).unwrap();
+        validate_encoded(&c, &enc).unwrap();
+        assert_eq!(enc.cycles() as usize, c.depth());
+    }
+
+    #[test]
+    fn qubits_overflow_is_reported() {
+        let c = benchmarks::qft_n10();
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
+        assert!(matches!(
+            Ecmas::default().compile(&c, &chip),
+            Err(CompileError::TooManyQubits { qubits: 10, slots: 4 })
+        ));
+    }
+
+    #[test]
+    fn adjust_bandwidth_helps_or_ties_on_wide_chip() {
+        let c = benchmarks::dnn_n8();
+        let chip = Chip::four_x(CodeModel::DoubleDefect, 8, 3).unwrap();
+        let with = Ecmas::new(EcmasConfig { adjust_bandwidth: true, ..EcmasConfig::default() })
+            .compile(&c, &chip)
+            .unwrap();
+        let without = Ecmas::new(EcmasConfig { adjust_bandwidth: false, ..EcmasConfig::default() })
+            .compile(&c, &chip)
+            .unwrap();
+        validate_encoded(&c, &with).unwrap();
+        validate_encoded(&c, &without).unwrap();
+        assert!(with.cycles() <= without.cycles() + 2, "adjusting should not hurt much");
+    }
+}

@@ -1,0 +1,210 @@
+//! Cut types and cut-type initialization for the double-defect model.
+//!
+//! A double-defect tile is created as either an X-cut or a Z-cut (Fig. 2).
+//! Braiding — the one-cycle CNOT — only works between tiles of *different*
+//! cut types; equal-cut CNOTs need either three braids through an ancilla
+//! (3 cycles, Fig. 3a) or a cut-type modification (3 cycles, then 1 braid,
+//! Fig. 3b). Choosing the initial cut types is therefore a 2-coloring
+//! problem on the communication graph, optimal exactly when the graph is
+//! bipartite and NP-hard otherwise (Theorem 1).
+
+use ecmas_circuit::{CommGraph, GateDag};
+use ecmas_partition::{max_cut_one_exchange, ParityDsu, WeightedGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The cut type of a double-defect tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CutType {
+    /// X-cut tile (two X-stabilizer defects).
+    X,
+    /// Z-cut tile.
+    Z,
+}
+
+impl CutType {
+    /// The opposite cut type.
+    #[must_use]
+    pub fn flipped(self) -> CutType {
+        match self {
+            CutType::X => CutType::Z,
+            CutType::Z => CutType::X,
+        }
+    }
+
+    /// Maps a 2-coloring side (0/1) to a cut type.
+    #[must_use]
+    pub fn from_side(side: u8) -> CutType {
+        if side == 0 {
+            CutType::X
+        } else {
+            CutType::Z
+        }
+    }
+}
+
+/// How to pick the initial cut types (§IV-C1 and Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CutInitStrategy {
+    /// The paper's greedy algorithm: add gates in topological order to a
+    /// parity DSU while the prefix communication subgraph stays bipartite,
+    /// skip edges that would close an odd cycle, and 2-color the result.
+    /// Gates executed earlier get their cut-type wish satisfied first.
+    GreedyBipartitePrefix,
+    /// Uniformly random assignment (Table III baseline).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Max-cut one-exchange on the full weighted communication graph
+    /// (Table III baseline): maximizes the *total* number of
+    /// different-cut CNOTs, ignoring execution order.
+    MaxCut {
+        /// RNG seed for the local search start.
+        seed: u64,
+    },
+    /// All tiles share one cut type — what AutoBraid and Braidflash
+    /// implicitly assume; every CNOT costs 3 cycles.
+    AllSame,
+}
+
+/// Computes initial cut types for every logical qubit.
+///
+/// For [`GreedyBipartitePrefix`](CutInitStrategy::GreedyBipartitePrefix)
+/// the gates are visited in topological (program) order; each gate's
+/// "endpoints differ" constraint is kept if consistent and skipped
+/// otherwise, so the front of the circuit is prioritized — the paper's
+/// argument for beating max-cut on circuits like `ghz_state_n23`.
+///
+/// Qubits left unconstrained are colored opposite their first partner (or
+/// X if isolated).
+#[must_use]
+pub fn initialize_cuts(dag: &GateDag, comm: &CommGraph, strategy: CutInitStrategy) -> Vec<CutType> {
+    let n = dag.qubits();
+    match strategy {
+        CutInitStrategy::AllSame => vec![CutType::X; n],
+        CutInitStrategy::Random { seed } => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..n)
+                .map(|_| if rng.gen_bool(0.5) { CutType::X } else { CutType::Z })
+                .collect()
+        }
+        CutInitStrategy::MaxCut { seed } => {
+            let g = WeightedGraph::from_edges(
+                n,
+                comm.edges().iter().map(|e| (e.a, e.b, u64::from(e.weight))),
+            );
+            max_cut_one_exchange(&g, seed).into_iter().map(CutType::from_side).collect()
+        }
+        CutInitStrategy::GreedyBipartitePrefix => {
+            let mut dsu = ParityDsu::new(n);
+            // Visit gates in layer order (the execution front first), as the
+            // paper's greedy does; within a layer, program order.
+            let mut order: Vec<usize> = (0..dag.len()).collect();
+            order.sort_by_key(|&g| (dag.level(g), g));
+            for g in order {
+                let gate = dag.gate(g);
+                // Skip edges that would make the prefix non-bipartite.
+                let _ = dsu.union_different(gate.control, gate.target);
+            }
+            let sides = dsu.coloring();
+            sides.into_iter().map(CutType::from_side).collect()
+        }
+    }
+}
+
+/// Counts how many of the circuit's CNOTs connect different cut types —
+/// the quantity max-cut maximizes; useful in tests and diagnostics.
+#[must_use]
+pub fn different_cut_weight(comm: &CommGraph, cuts: &[CutType]) -> u64 {
+    comm.edges()
+        .iter()
+        .filter(|e| cuts[e.a] != cuts[e.b])
+        .map(|e| u64::from(e.weight))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecmas_circuit::Circuit;
+
+    fn cuts_for(c: &Circuit, strategy: CutInitStrategy) -> Vec<CutType> {
+        initialize_cuts(&c.dag(), &c.comm_graph(), strategy)
+    }
+
+    #[test]
+    fn flipped_is_involution() {
+        assert_eq!(CutType::X.flipped(), CutType::Z);
+        assert_eq!(CutType::Z.flipped().flipped(), CutType::Z);
+    }
+
+    #[test]
+    fn bipartite_graph_gets_perfect_coloring() {
+        // GHZ chain: path graph; greedy must 2-color it perfectly.
+        let mut c = Circuit::new(5);
+        for i in 0..4 {
+            c.cnot(i, i + 1);
+        }
+        let cuts = cuts_for(&c, CutInitStrategy::GreedyBipartitePrefix);
+        for g in c.cnot_gates() {
+            assert_ne!(cuts[g.control], cuts[g.target]);
+        }
+    }
+
+    #[test]
+    fn greedy_prioritizes_early_gates() {
+        // Triangle where the (0,1) and (1,2) gates come first: they must be
+        // satisfied; the late (0,2) edge is the one sacrificed.
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1);
+        c.cnot(1, 2);
+        c.cnot(0, 2);
+        let cuts = cuts_for(&c, CutInitStrategy::GreedyBipartitePrefix);
+        assert_ne!(cuts[0], cuts[1]);
+        assert_ne!(cuts[1], cuts[2]);
+        assert_eq!(cuts[0], cuts[2], "the late edge loses");
+    }
+
+    #[test]
+    fn all_same_is_uniform() {
+        let mut c = Circuit::new(4);
+        c.cnot(0, 1);
+        let cuts = cuts_for(&c, CutInitStrategy::AllSame);
+        assert!(cuts.iter().all(|&x| x == cuts[0]));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut c = Circuit::new(16);
+        c.cnot(0, 1);
+        let a = cuts_for(&c, CutInitStrategy::Random { seed: 7 });
+        let b = cuts_for(&c, CutInitStrategy::Random { seed: 7 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn maxcut_on_bipartite_cuts_everything() {
+        let mut c = Circuit::new(6);
+        for i in 0..3 {
+            c.cnot(i, i + 3);
+        }
+        let comm = c.comm_graph();
+        let cuts = cuts_for(&c, CutInitStrategy::MaxCut { seed: 3 });
+        assert_eq!(different_cut_weight(&comm, &cuts), 3);
+    }
+
+    #[test]
+    fn greedy_beats_or_matches_random_on_front_weight() {
+        // On dnn (complete bipartite) greedy is perfect.
+        let c = ecmas_circuit::benchmarks::dnn_n8();
+        let comm = c.comm_graph();
+        let greedy = cuts_for(&c, CutInitStrategy::GreedyBipartitePrefix);
+        assert_eq!(
+            different_cut_weight(&comm, &greedy),
+            u64::from(comm.total_weight()),
+            "dnn communication graph is bipartite; greedy must cut all gates"
+        );
+    }
+}

@@ -1,0 +1,679 @@
+//! The encoded-circuit representation and its independent validator.
+//!
+//! Every compiler in the workspace emits an [`EncodedCircuit`]; the
+//! [`validate_encoded`] oracle re-checks all of the paper's §III
+//! constraints against the original circuit and chip, so no scheduler can
+//! silently produce an illegal schedule with a flattering cycle count.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::{Circuit, GateId};
+use ecmas_route::{Disjointness, Path};
+
+use crate::cut::CutType;
+
+/// What a scheduled event physically does on the chip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A one-cycle braiding operation between tiles of different cut types
+    /// (double defect).
+    Braid {
+        /// The braiding path (tile cell → … → tile cell).
+        path: Path,
+    },
+    /// A three-cycle direct CNOT between tiles of the *same* cut type via
+    /// the in-tile ancilla (Fig. 3a). The inter-tile path is held for the
+    /// first two cycles.
+    DirectSameCut {
+        /// The braiding path used by the two inter-tile braids.
+        path: Path,
+    },
+    /// A one-cycle lattice-surgery CNOT through a Bell-state ancilla chain
+    /// (Fig. 4).
+    LatticeCnot {
+        /// The ancilla-tile path.
+        path: Path,
+    },
+    /// A three-cycle cut-type modification of one tile (Fig. 3b); the tile
+    /// is busy but no channel is used.
+    CutModification {
+        /// The logical qubit whose tile flips cut type.
+        qubit: usize,
+    },
+}
+
+impl EventKind {
+    /// Total latency of the event in clock cycles.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        match self {
+            EventKind::Braid { .. } | EventKind::LatticeCnot { .. } => 1,
+            EventKind::DirectSameCut { .. } | EventKind::CutModification { .. } => 3,
+        }
+    }
+
+    /// How many cycles (from the start) the event's path is held.
+    #[must_use]
+    pub fn path_hold(&self) -> u64 {
+        match self {
+            EventKind::Braid { .. } | EventKind::LatticeCnot { .. } => 1,
+            EventKind::DirectSameCut { .. } => 2,
+            EventKind::CutModification { .. } => 0,
+        }
+    }
+
+    /// The event's path, if it uses one.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            EventKind::Braid { path }
+            | EventKind::DirectSameCut { path }
+            | EventKind::LatticeCnot { path } => Some(path),
+            EventKind::CutModification { .. } => None,
+        }
+    }
+}
+
+/// One scheduled operation of the encoded circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The CNOT this event implements, or `None` for cut modifications.
+    pub gate: Option<GateId>,
+    /// Start cycle (0-based).
+    pub start: u64,
+    /// The physical operation.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// First cycle after the event completes.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.start + self.kind.duration()
+    }
+}
+
+/// The output of a surface-code compiler: an initial mapping plus a
+/// conflict-free, dependency-respecting schedule of events. The paper's
+/// objective is the cycle count Δ ([`cycles`](Self::cycles)).
+#[derive(Clone, Debug)]
+pub struct EncodedCircuit {
+    chip: Chip,
+    mapping: Vec<usize>,
+    initial_cuts: Option<Vec<CutType>>,
+    events: Vec<Event>,
+    cycles: u64,
+}
+
+impl EncodedCircuit {
+    /// Assembles an encoded circuit; Δ is the max event end.
+    ///
+    /// `mapping[q]` is the tile slot of logical qubit `q`;
+    /// `initial_cuts` must be `Some` for the double-defect model.
+    #[must_use]
+    pub fn new(
+        chip: Chip,
+        mapping: Vec<usize>,
+        initial_cuts: Option<Vec<CutType>>,
+        events: Vec<Event>,
+    ) -> Self {
+        let cycles = events.iter().map(Event::end).max().unwrap_or(0);
+        EncodedCircuit { chip, mapping, initial_cuts, events, cycles }
+    }
+
+    /// The (possibly bandwidth-adjusted) chip the schedule targets.
+    #[must_use]
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Tile slot of each logical qubit.
+    #[must_use]
+    pub fn mapping(&self) -> &[usize] {
+        &self.mapping
+    }
+
+    /// Initial cut types (double defect only).
+    #[must_use]
+    pub fn initial_cuts(&self) -> Option<&[CutType]> {
+        self.initial_cuts.as_deref()
+    }
+
+    /// The schedule, sorted by start cycle.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The cycle count Δ — the paper's objective.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of cut-modification events (a diagnostic for the ablations).
+    #[must_use]
+    pub fn modification_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CutModification { .. }))
+            .count()
+    }
+}
+
+/// A violation found by [`validate_encoded`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ValidateError {
+    /// A DAG gate is missing from the schedule or scheduled twice.
+    GateCoverage {
+        /// The gate in question.
+        gate: GateId,
+        /// How many times it was scheduled.
+        times: usize,
+    },
+    /// A gate started before one of its DAG parents finished.
+    DependencyOrder {
+        /// The early gate.
+        gate: GateId,
+        /// The violated parent.
+        parent: GateId,
+    },
+    /// Two events overlap on the same logical qubit.
+    QubitOverlap {
+        /// The shared qubit.
+        qubit: usize,
+    },
+    /// A braid ran between equal cut types, or a direct-same-cut CNOT
+    /// between different ones.
+    CutTypeRule {
+        /// The offending gate.
+        gate: GateId,
+    },
+    /// A path is structurally invalid (non-adjacent steps, wrong endpoints,
+    /// or an interior cell on a mapped tile).
+    MalformedPath {
+        /// The offending gate.
+        gate: GateId,
+    },
+    /// Two simultaneous paths violate the model's disjointness rule.
+    PathConflict {
+        /// The clock cycle of the conflict.
+        cycle: u64,
+    },
+    /// The event kind does not match the chip's code model.
+    WrongModel,
+    /// Mapping is malformed (slot out of range or reused).
+    BadMapping,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ValidateError::GateCoverage { gate, times } => {
+                write!(f, "gate {gate} scheduled {times} times (expected exactly once)")
+            }
+            ValidateError::DependencyOrder { gate, parent } => {
+                write!(f, "gate {gate} starts before its parent {parent} completes")
+            }
+            ValidateError::QubitOverlap { qubit } => {
+                write!(f, "two events overlap on qubit {qubit}")
+            }
+            ValidateError::CutTypeRule { gate } => {
+                write!(f, "gate {gate} violates the cut-type rule for its event kind")
+            }
+            ValidateError::MalformedPath { gate } => write!(f, "gate {gate} has a malformed path"),
+            ValidateError::PathConflict { cycle } => {
+                write!(f, "two paths conflict at cycle {cycle}")
+            }
+            ValidateError::WrongModel => write!(f, "event kind does not match the code model"),
+            ValidateError::BadMapping => write!(f, "mapping reuses or overflows tile slots"),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Independently checks every constraint the paper places on an encoded
+/// circuit (§III): complete gate coverage, topological order, per-qubit
+/// exclusivity, cut-type legality of each event kind, structural path
+/// validity, and per-cycle path disjointness (node-disjoint for double
+/// defect, edge-disjoint for lattice surgery).
+///
+/// This validator is shared by the test suites of *every* compiler in the
+/// workspace (Ecmas, Ecmas-ReSu, AutoBraid, EDPCI), so a scheduling bug in
+/// any of them cannot silently produce an illegal schedule with a
+/// flattering cycle count.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+#[allow(clippy::too_many_lines)]
+pub fn validate_encoded(circuit: &Circuit, enc: &EncodedCircuit) -> Result<(), ValidateError> {
+    let chip = enc.chip();
+    let grid = chip.grid();
+    let dag = circuit.dag();
+    let n = circuit.qubits();
+
+    // Mapping sanity.
+    if enc.mapping().len() != n {
+        return Err(ValidateError::BadMapping);
+    }
+    let mut used = vec![false; chip.tile_slots()];
+    for &slot in enc.mapping() {
+        if slot >= used.len() || used[slot] {
+            return Err(ValidateError::BadMapping);
+        }
+        used[slot] = true;
+    }
+    let mapped_cells: std::collections::HashSet<usize> =
+        enc.mapping().iter().map(|&s| grid.tile_cell(s)).collect();
+
+    // Gate coverage and per-gate end times.
+    let mut times = vec![0usize; dag.len()];
+    let mut end_of = vec![0u64; dag.len()];
+    for e in enc.events() {
+        if let Some(g) = e.gate {
+            if g >= dag.len() {
+                return Err(ValidateError::GateCoverage { gate: g, times: usize::MAX });
+            }
+            times[g] += 1;
+            end_of[g] = e.end();
+        }
+    }
+    for (g, &t) in times.iter().enumerate() {
+        if t != 1 {
+            return Err(ValidateError::GateCoverage { gate: g, times: t });
+        }
+    }
+
+    // Model/event agreement.
+    for e in enc.events() {
+        let ok = matches!(
+            (chip.model(), &e.kind),
+            (CodeModel::DoubleDefect, EventKind::Braid { .. })
+                | (CodeModel::DoubleDefect, EventKind::DirectSameCut { .. })
+                | (CodeModel::DoubleDefect, EventKind::CutModification { .. })
+                | (CodeModel::LatticeSurgery, EventKind::LatticeCnot { .. })
+        );
+        if !ok {
+            return Err(ValidateError::WrongModel);
+        }
+    }
+
+    // Dependency order.
+    for e in enc.events() {
+        if let Some(g) = e.gate {
+            for &p in dag.parents(g) {
+                if e.start < end_of[p] {
+                    return Err(ValidateError::DependencyOrder { gate: g, parent: p });
+                }
+            }
+        }
+    }
+
+    // Per-qubit exclusivity.
+    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    for e in enc.events() {
+        match (&e.kind, e.gate) {
+            (EventKind::CutModification { qubit }, _) => {
+                intervals[*qubit].push((e.start, e.end()));
+            }
+            (_, Some(g)) => {
+                let gate = dag.gate(g);
+                intervals[gate.control].push((e.start, e.end()));
+                intervals[gate.target].push((e.start, e.end()));
+            }
+            _ => {}
+        }
+    }
+    for (q, list) in intervals.iter_mut().enumerate() {
+        list.sort_unstable();
+        for w in list.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(ValidateError::QubitOverlap { qubit: q });
+            }
+        }
+    }
+
+    // Cut-type legality over time (double defect only).
+    if chip.model() == CodeModel::DoubleDefect {
+        let Some(init) = enc.initial_cuts() else {
+            return Err(ValidateError::WrongModel);
+        };
+        if init.len() != n {
+            return Err(ValidateError::WrongModel);
+        }
+        // Replay events in start order, flipping cuts when modifications
+        // complete. Per-qubit exclusivity (already checked) guarantees no
+        // gate overlaps a modification on the same qubit.
+        let mut cuts = init.to_vec();
+        let mut ordered: Vec<&Event> = enc.events().iter().collect();
+        ordered.sort_by_key(|e| e.start);
+        // Pending flips: (completion cycle, qubit).
+        let mut flips: Vec<(u64, usize)> = Vec::new();
+        for e in &ordered {
+            flips.sort_unstable();
+            let due: Vec<usize> =
+                flips.iter().filter(|&&(t, _)| t <= e.start).map(|&(_, q)| q).collect();
+            flips.retain(|&(t, _)| t > e.start);
+            for q in due {
+                cuts[q] = cuts[q].flipped();
+            }
+            match (&e.kind, e.gate) {
+                (EventKind::CutModification { qubit }, _) => flips.push((e.end(), *qubit)),
+                (EventKind::Braid { .. }, Some(g)) => {
+                    let gate = dag.gate(g);
+                    if cuts[gate.control] == cuts[gate.target] {
+                        return Err(ValidateError::CutTypeRule { gate: g });
+                    }
+                }
+                (EventKind::DirectSameCut { .. }, Some(g)) => {
+                    let gate = dag.gate(g);
+                    if cuts[gate.control] != cuts[gate.target] {
+                        return Err(ValidateError::CutTypeRule { gate: g });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Structural path validity.
+    for e in enc.events() {
+        let Some(path) = e.kind.path() else { continue };
+        let g = e.gate.ok_or(ValidateError::WrongModel)?;
+        let gate = dag.gate(g);
+        let cells = path.cells();
+        if cells.len() < 2 {
+            return Err(ValidateError::MalformedPath { gate: g });
+        }
+        let want_a = grid.tile_cell(enc.mapping()[gate.control]);
+        let want_b = grid.tile_cell(enc.mapping()[gate.target]);
+        let (first, last) = (cells[0], cells[cells.len() - 1]);
+        if !((first == want_a && last == want_b) || (first == want_b && last == want_a)) {
+            return Err(ValidateError::MalformedPath { gate: g });
+        }
+        for w in cells.windows(2) {
+            if grid.manhattan(w[0], w[1]) != 1 {
+                return Err(ValidateError::MalformedPath { gate: g });
+            }
+        }
+        for &c in path.interior() {
+            if mapped_cells.contains(&c) {
+                return Err(ValidateError::MalformedPath { gate: g });
+            }
+        }
+    }
+
+    // Spatial disjointness via per-resource interval sweep.
+    let mode = match chip.model() {
+        CodeModel::DoubleDefect => Disjointness::Node,
+        CodeModel::LatticeSurgery => Disjointness::Edge,
+    };
+    let mut by_resource: HashMap<(usize, usize), Vec<(u64, u64)>> = HashMap::new();
+    for e in enc.events() {
+        let Some(path) = e.kind.path() else { continue };
+        let hold = e.kind.path_hold();
+        let window = (e.start, e.start + hold);
+        match mode {
+            Disjointness::Node => {
+                for &c in path.interior() {
+                    by_resource.entry((c, c)).or_default().push(window);
+                }
+            }
+            Disjointness::Edge => {
+                for w in path.cells().windows(2) {
+                    let key = (w[0].min(w[1]), w[0].max(w[1]));
+                    by_resource.entry(key).or_default().push(window);
+                }
+            }
+        }
+    }
+    for list in by_resource.values_mut() {
+        list.sort_unstable();
+        for w in list.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(ValidateError::PathConflict { cycle: w[1].0 });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecmas_chip::{Chip, CodeModel};
+    use ecmas_circuit::Circuit;
+    use ecmas_route::{Disjointness, Router};
+
+    fn two_qubit_setup() -> (Circuit, Chip, Vec<usize>, Path) {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 1, 2, 1, 3).unwrap();
+        let mapping = vec![0, 1];
+        let mut router = Router::new(chip.grid(), Disjointness::Node);
+        router.block_tile(0);
+        router.block_tile(1);
+        let path = router.find_tile_path(0, 1, 0, 1).unwrap();
+        (c, chip, mapping, path)
+    }
+
+    #[test]
+    fn valid_braid_schedule_passes() {
+        let (c, chip, mapping, path) = two_qubit_setup();
+        let enc = EncodedCircuit::new(
+            chip,
+            mapping,
+            Some(vec![CutType::X, CutType::Z]),
+            vec![Event { gate: Some(0), start: 0, kind: EventKind::Braid { path } }],
+        );
+        assert_eq!(enc.cycles(), 1);
+        validate_encoded(&c, &enc).expect("valid schedule");
+    }
+
+    #[test]
+    fn braid_between_equal_cuts_rejected() {
+        let (c, chip, mapping, path) = two_qubit_setup();
+        let enc = EncodedCircuit::new(
+            chip,
+            mapping,
+            Some(vec![CutType::X, CutType::X]),
+            vec![Event { gate: Some(0), start: 0, kind: EventKind::Braid { path } }],
+        );
+        assert_eq!(
+            validate_encoded(&c, &enc),
+            Err(ValidateError::CutTypeRule { gate: 0 })
+        );
+    }
+
+    #[test]
+    fn direct_same_cut_between_equal_cuts_passes() {
+        let (c, chip, mapping, path) = two_qubit_setup();
+        let enc = EncodedCircuit::new(
+            chip,
+            mapping,
+            Some(vec![CutType::X, CutType::X]),
+            vec![Event { gate: Some(0), start: 0, kind: EventKind::DirectSameCut { path } }],
+        );
+        assert_eq!(enc.cycles(), 3);
+        validate_encoded(&c, &enc).expect("valid direct execution");
+    }
+
+    #[test]
+    fn modification_then_braid_passes() {
+        let (c, chip, mapping, path) = two_qubit_setup();
+        let enc = EncodedCircuit::new(
+            chip,
+            mapping,
+            Some(vec![CutType::X, CutType::X]),
+            vec![
+                Event { gate: None, start: 0, kind: EventKind::CutModification { qubit: 0 } },
+                Event { gate: Some(0), start: 3, kind: EventKind::Braid { path } },
+            ],
+        );
+        assert_eq!(enc.cycles(), 4);
+        validate_encoded(&c, &enc).expect("modification makes the braid legal");
+    }
+
+    #[test]
+    fn missing_gate_detected() {
+        let (c, chip, mapping, _) = two_qubit_setup();
+        let enc = EncodedCircuit::new(chip, mapping, Some(vec![CutType::X, CutType::Z]), vec![]);
+        assert_eq!(
+            validate_encoded(&c, &enc),
+            Err(ValidateError::GateCoverage { gate: 0, times: 0 })
+        );
+    }
+
+    #[test]
+    fn dependency_violation_detected() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1);
+        c.cnot(1, 2);
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 1, 3, 1, 3).unwrap();
+        let mapping = vec![0, 1, 2];
+        let mut router = Router::new(chip.grid(), Disjointness::Node);
+        for t in 0..3 {
+            router.block_tile(t);
+        }
+        let p01 = router.find_tile_path(0, 1, 0, 1).unwrap();
+        let p12 = router.find_tile_path(1, 2, 5, 1).unwrap();
+        let enc = EncodedCircuit::new(
+            chip,
+            mapping,
+            Some(vec![CutType::X, CutType::Z, CutType::X]),
+            vec![
+                // Child starts at 0, parent at 5: illegal.
+                Event { gate: Some(1), start: 0, kind: EventKind::Braid { path: p12 } },
+                Event { gate: Some(0), start: 5, kind: EventKind::Braid { path: p01 } },
+            ],
+        );
+        assert!(matches!(
+            validate_encoded(&c, &enc),
+            Err(ValidateError::DependencyOrder { .. }) | Err(ValidateError::QubitOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn qubit_overlap_detected() {
+        // A cut modification on qubit 0 spans [0,3); running the braid at
+        // cycle 1 overlaps it. (Two *gates* sharing a qubit are always
+        // DAG-ordered, so modification-vs-gate is the real overlap case.)
+        let (c, chip, mapping, path) = two_qubit_setup();
+        let enc = EncodedCircuit::new(
+            chip,
+            mapping,
+            Some(vec![CutType::X, CutType::Z]),
+            vec![
+                Event { gate: None, start: 0, kind: EventKind::CutModification { qubit: 0 } },
+                Event { gate: Some(0), start: 1, kind: EventKind::Braid { path } },
+            ],
+        );
+        assert_eq!(validate_encoded(&c, &enc), Err(ValidateError::QubitOverlap { qubit: 0 }));
+    }
+
+    #[test]
+    fn conflicting_paths_detected() {
+        // Two events that (illegally) reuse the same interior cell in the
+        // same cycle on independent qubit pairs.
+        let mut c = Circuit::new(4);
+        c.cnot(0, 1);
+        c.cnot(2, 3);
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
+        let grid = chip.grid();
+        let mapping = vec![0, 3, 1, 2];
+        // Hand-build two paths through the central cell (2,2).
+        let p03 = Path::from_cells(vec![
+            grid.tile_cell(0),
+            grid.index(1, 2),
+            grid.index(2, 2),
+            grid.index(3, 2),
+            grid.tile_cell(3),
+        ]);
+        let p12 = Path::from_cells(vec![
+            grid.tile_cell(1),
+            grid.index(2, 3),
+            grid.index(2, 2),
+            grid.index(2, 1),
+            grid.tile_cell(2),
+        ]);
+        let enc = EncodedCircuit::new(
+            chip,
+            mapping,
+            Some(vec![CutType::X, CutType::Z, CutType::X, CutType::Z]),
+            vec![
+                Event { gate: Some(0), start: 0, kind: EventKind::Braid { path: p03 } },
+                Event { gate: Some(1), start: 0, kind: EventKind::Braid { path: p12 } },
+            ],
+        );
+        assert_eq!(validate_encoded(&c, &enc), Err(ValidateError::PathConflict { cycle: 0 }));
+    }
+
+    #[test]
+    fn duplicate_mapping_rejected() {
+        let (c, chip, _, path) = two_qubit_setup();
+        let enc = EncodedCircuit::new(
+            chip,
+            vec![0, 0],
+            Some(vec![CutType::X, CutType::Z]),
+            vec![Event { gate: Some(0), start: 0, kind: EventKind::Braid { path } }],
+        );
+        assert_eq!(validate_encoded(&c, &enc), Err(ValidateError::BadMapping));
+    }
+
+    #[test]
+    fn wrong_model_event_rejected() {
+        let (c, _, mapping, path) = two_qubit_setup();
+        let ls_chip = Chip::uniform(CodeModel::LatticeSurgery, 1, 2, 1, 3).unwrap();
+        let enc = EncodedCircuit::new(
+            ls_chip,
+            mapping,
+            None,
+            vec![Event { gate: Some(0), start: 0, kind: EventKind::Braid { path } }],
+        );
+        assert_eq!(validate_encoded(&c, &enc), Err(ValidateError::WrongModel));
+    }
+
+    #[test]
+    fn direct_hold_conflicts_across_cycles() {
+        // A direct same-cut CNOT holds its path for two cycles; a braid
+        // through the same cell at cycle 1 must be flagged.
+        let mut c = Circuit::new(4);
+        c.cnot(0, 1);
+        c.cnot(2, 3);
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
+        let grid = chip.grid();
+        let mapping = vec![0, 3, 1, 2];
+        let p03 = Path::from_cells(vec![
+            grid.tile_cell(0),
+            grid.index(1, 2),
+            grid.index(2, 2),
+            grid.index(3, 2),
+            grid.tile_cell(3),
+        ]);
+        let p12 = Path::from_cells(vec![
+            grid.tile_cell(1),
+            grid.index(2, 3),
+            grid.index(2, 2),
+            grid.index(2, 1),
+            grid.tile_cell(2),
+        ]);
+        let enc = EncodedCircuit::new(
+            chip,
+            mapping,
+            Some(vec![CutType::X, CutType::X, CutType::X, CutType::Z]),
+            vec![
+                Event { gate: Some(0), start: 0, kind: EventKind::DirectSameCut { path: p03 } },
+                Event { gate: Some(1), start: 1, kind: EventKind::Braid { path: p12 } },
+            ],
+        );
+        assert_eq!(validate_encoded(&c, &enc), Err(ValidateError::PathConflict { cycle: 1 }));
+    }
+}

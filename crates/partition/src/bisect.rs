@@ -1,0 +1,207 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::WeightedGraph;
+
+/// Kernighan–Lin weighted bisection: splits the vertices into a `false`
+/// side of exactly `left_size` vertices and a `true` side with the rest,
+/// heuristically minimizing the crossing weight.
+///
+/// Starts from a random balanced assignment and runs KL improvement passes
+/// (swap the best pair, lock, keep the best prefix) until a pass yields no
+/// gain. Deterministic given the RNG state.
+///
+/// # Panics
+///
+/// Panics if `left_size > graph.len()`.
+///
+/// # Example
+///
+/// ```
+/// use ecmas_partition::{bisect, WeightedGraph};
+/// use rand::SeedableRng;
+///
+/// // Two triangles joined by one light edge: the optimal bisection cuts it.
+/// let g = WeightedGraph::from_edges(6, [
+///     (0, 1, 5), (1, 2, 5), (0, 2, 5),
+///     (3, 4, 5), (4, 5, 5), (3, 5, 5),
+///     (2, 3, 1),
+/// ]);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let side = bisect(&g, 3, &mut rng);
+/// assert_eq!(g.cut_weight(&side), 1);
+/// ```
+#[must_use]
+pub fn bisect(graph: &WeightedGraph, left_size: usize, rng: &mut impl Rng) -> Vec<bool> {
+    let n = graph.len();
+    assert!(left_size <= n, "left side larger than the graph");
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Random balanced start.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut side = vec![true; n];
+    for &v in order.iter().take(left_size) {
+        side[v] = false;
+    }
+
+    // KL improvement passes.
+    loop {
+        let gain = kl_pass(graph, &mut side);
+        if gain <= 0 {
+            break;
+        }
+    }
+    side
+}
+
+/// One KL pass; mutates `side` if a positive-gain prefix exists and returns
+/// the committed gain.
+fn kl_pass(graph: &WeightedGraph, side: &mut [bool]) -> i64 {
+    let n = graph.len();
+    // D[v] = external − internal incident weight.
+    let mut d = vec![0i64; n];
+    for v in 0..n {
+        for &(u, w) in graph.neighbors(v) {
+            let w = i64::try_from(w).unwrap_or(i64::MAX);
+            if side[u] == side[v] {
+                d[v] -= w;
+            } else {
+                d[v] += w;
+            }
+        }
+    }
+
+    let mut locked = vec![false; n];
+    let mut trial = side.to_vec();
+    let mut swaps: Vec<(usize, usize, i64)> = Vec::new();
+    let pair_count = trial.iter().filter(|&&s| !s).count().min(trial.iter().filter(|&&s| s).count());
+
+    for _ in 0..pair_count {
+        // Best unlocked (left, right) pair by gain = D[a] + D[b] − 2·w(a,b).
+        let mut best: Option<(usize, usize, i64)> = None;
+        for a in 0..n {
+            if locked[a] || trial[a] {
+                continue;
+            }
+            for b in 0..n {
+                if locked[b] || !trial[b] {
+                    continue;
+                }
+                let w_ab = graph
+                    .neighbors(a)
+                    .iter()
+                    .find(|&&(u, _)| u == b)
+                    .map_or(0i64, |&(_, w)| i64::try_from(w).unwrap_or(i64::MAX));
+                let gain = d[a] + d[b] - 2 * w_ab;
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((a, b, gain));
+                }
+            }
+        }
+        let Some((a, b, gain)) = best else { break };
+        // Tentatively swap and lock.
+        trial[a] = true;
+        trial[b] = false;
+        locked[a] = true;
+        locked[b] = true;
+        swaps.push((a, b, gain));
+        // Update D for unlocked vertices.
+        for &(u, w) in graph.neighbors(a) {
+            if !locked[u] {
+                let w = i64::try_from(w).unwrap_or(i64::MAX);
+                // `a` moved from u's perspective: same-side ↔ cross-side.
+                if trial[u] == trial[a] {
+                    d[u] -= 2 * w;
+                } else {
+                    d[u] += 2 * w;
+                }
+            }
+        }
+        for &(u, w) in graph.neighbors(b) {
+            if !locked[u] {
+                let w = i64::try_from(w).unwrap_or(i64::MAX);
+                if trial[u] == trial[b] {
+                    d[u] -= 2 * w;
+                } else {
+                    d[u] += 2 * w;
+                }
+            }
+        }
+    }
+
+    // Best prefix of cumulative gains.
+    let mut cumulative = 0i64;
+    let mut best_prefix = 0usize;
+    let mut best_gain = 0i64;
+    for (k, &(_, _, g)) in swaps.iter().enumerate() {
+        cumulative += g;
+        if cumulative > best_gain {
+            best_gain = cumulative;
+            best_prefix = k + 1;
+        }
+    }
+    if best_gain > 0 {
+        for &(a, b, _) in &swaps[..best_prefix] {
+            side[a] = true;
+            side[b] = false;
+        }
+    }
+    best_gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn sizes_are_exact() {
+        let g = WeightedGraph::from_edges(7, [(0, 1, 1), (2, 3, 1), (4, 5, 1)]);
+        for left in 0..=7 {
+            let side = bisect(&g, left, &mut rng());
+            assert_eq!(side.iter().filter(|&&s| !s).count(), left);
+        }
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                edges.push((a, b, 10));
+                edges.push((a + 4, b + 4, 10));
+            }
+        }
+        edges.push((0, 4, 1));
+        let g = WeightedGraph::from_edges(8, edges);
+        let side = bisect(&g, 4, &mut rng());
+        assert_eq!(g.cut_weight(&side), 1);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let g = WeightedGraph::from_edges(0, []);
+        assert!(bisect(&g, 0, &mut rng()).is_empty());
+        let g = WeightedGraph::from_edges(1, []);
+        assert_eq!(bisect(&g, 1, &mut rng()), vec![false]);
+        assert_eq!(bisect(&g, 0, &mut rng()), vec![true]);
+    }
+
+    #[test]
+    fn never_worse_than_random_start() {
+        // KL only commits positive-gain prefixes, so the result can't be
+        // worse than some balanced partition; sanity-check it's decent on a
+        // path graph.
+        let g = WeightedGraph::from_edges(10, (0..9).map(|i| (i, i + 1, 1)));
+        let side = bisect(&g, 5, &mut rng());
+        assert!(g.cut_weight(&side) <= 3, "path bisection should cut few edges");
+    }
+}

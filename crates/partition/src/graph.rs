@@ -1,0 +1,122 @@
+/// A lightweight undirected weighted graph: the partitioners' input type.
+///
+/// Kept independent of `ecmas-circuit` so this crate stays dependency-free;
+/// the compiler converts a communication graph into a `WeightedGraph` with
+/// [`from_edges`](Self::from_edges).
+///
+/// # Example
+///
+/// ```
+/// use ecmas_partition::WeightedGraph;
+///
+/// let g = WeightedGraph::from_edges(3, [(0, 1, 2u64), (1, 2, 1)]);
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.weighted_degree(1), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WeightedGraph {
+    n: usize,
+    adj: Vec<Vec<(usize, u64)>>,
+    edges: Vec<(usize, usize, u64)>,
+}
+
+impl WeightedGraph {
+    /// Builds a graph over `n` vertices from `(a, b, weight)` triples.
+    /// Parallel edges are merged by summing weights; self-loops are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize, u64)>) -> Self {
+        let mut merged = std::collections::HashMap::new();
+        for (a, b, w) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            if a == b {
+                continue;
+            }
+            *merged.entry((a.min(b), a.max(b))).or_insert(0u64) += w;
+        }
+        let mut edge_list: Vec<(usize, usize, u64)> =
+            merged.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        edge_list.sort_unstable();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, w) in &edge_list {
+            adj[a].push((b, w));
+            adj[b].push((a, w));
+        }
+        WeightedGraph { n, adj, edges: edge_list }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the graph has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Deduplicated `(a, b, weight)` edges with `a < b`, sorted.
+    #[must_use]
+    pub fn edges(&self) -> &[(usize, usize, u64)] {
+        &self.edges
+    }
+
+    /// Neighbors of `v` with edge weights.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[(usize, u64)] {
+        &self.adj[v]
+    }
+
+    /// Sum of weights of edges incident to `v`.
+    #[must_use]
+    pub fn weighted_degree(&self, v: usize) -> u64 {
+        self.adj[v].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Total weight of edges crossing the boolean partition `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != self.len()`.
+    #[must_use]
+    pub fn cut_weight(&self, side: &[bool]) -> u64 {
+        assert_eq!(side.len(), self.n, "side length mismatch");
+        self.edges.iter().filter(|&&(a, b, _)| side[a] != side[b]).map(|&(_, _, w)| w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_parallel_edges() {
+        let g = WeightedGraph::from_edges(3, [(0, 1, 1), (1, 0, 2), (1, 2, 1)]);
+        assert_eq!(g.edges(), &[(0, 1, 3), (1, 2, 1)]);
+    }
+
+    #[test]
+    fn ignores_self_loops() {
+        let g = WeightedGraph::from_edges(2, [(0, 0, 5), (0, 1, 1)]);
+        assert_eq!(g.edges(), &[(0, 1, 1)]);
+    }
+
+    #[test]
+    fn cut_weight_counts_crossing_edges() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 4)]);
+        assert_eq!(g.cut_weight(&[false, false, true, true]), 2);
+        assert_eq!(g.cut_weight(&[false, true, false, true]), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = WeightedGraph::from_edges(2, [(0, 5, 1)]);
+    }
+}

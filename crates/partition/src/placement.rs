@@ -1,0 +1,310 @@
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::bisect::bisect;
+use crate::graph::WeightedGraph;
+
+/// A qubit → tile-slot assignment on a `rows × cols` tile array, scored by
+/// the paper's communication cost `f = Σ γ_ij · manhattan(slot_i, slot_j)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    rows: usize,
+    cols: usize,
+    slot_of: Vec<usize>,
+    cost: u64,
+}
+
+impl Placement {
+    /// Tile-array rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile-array columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Slot (`r · cols + c`) assigned to each qubit.
+    #[must_use]
+    pub fn slot_of(&self) -> &[usize] {
+        &self.slot_of
+    }
+
+    /// Communication cost `f = Σ γ_ij · l_ij` of this mapping.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+fn manhattan(cols: usize, a: usize, b: usize) -> u64 {
+    let (ra, ca) = (a / cols, a % cols);
+    let (rb, cb) = (b / cols, b % cols);
+    (ra.abs_diff(rb) + ca.abs_diff(cb)) as u64
+}
+
+fn total_cost(graph: &WeightedGraph, cols: usize, slot_of: &[usize]) -> u64 {
+    graph
+        .edges()
+        .iter()
+        .map(|&(a, b, w)| w * manhattan(cols, slot_of[a], slot_of[b]))
+        .sum()
+}
+
+/// Places the vertices of `graph` onto a `rows × cols` tile array by
+/// recursive KL bisection followed by pairwise-swap refinement, repeated
+/// `restarts` times with different random streams; the cheapest mapping
+/// wins. This is the *mapping establishing* step of the paper (§IV-B1),
+/// with the recursive bisectioner substituting for Metis.
+///
+/// # Panics
+///
+/// Panics if `graph.len() > rows * cols`.
+///
+/// # Example
+///
+/// ```
+/// use ecmas_partition::{place, WeightedGraph};
+///
+/// // A 4-path placed on a 2×2 array: every edge can be adjacent.
+/// let g = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+/// let p = place(&g, 2, 2, 4, 7);
+/// assert_eq!(p.cost(), 3);
+/// ```
+#[must_use]
+pub fn place(graph: &WeightedGraph, rows: usize, cols: usize, restarts: usize, seed: u64) -> Placement {
+    place_opts(graph, rows, cols, restarts, seed, true)
+}
+
+/// [`place`] with the swap-refinement pass optional. `refine = false`
+/// reproduces a bare recursive-bisection (Metis-style) mapping, used as the
+/// "Metis" baseline of the paper's Table II.
+///
+/// # Panics
+///
+/// Panics if `graph.len() > rows * cols`.
+#[must_use]
+pub fn place_opts(
+    graph: &WeightedGraph,
+    rows: usize,
+    cols: usize,
+    restarts: usize,
+    seed: u64,
+    refine_pass: bool,
+) -> Placement {
+    let n = graph.len();
+    assert!(n <= rows * cols, "{n} qubits do not fit in {rows}×{cols} slots");
+    let mut best: Option<Placement> = None;
+    for r in 0..restarts.max(1) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9));
+        let mut slot_of = vec![usize::MAX; n];
+        let qubits: Vec<usize> = (0..n).collect();
+        recurse(graph, &qubits, 0, rows, 0, cols, cols, &mut slot_of, &mut rng);
+        if refine_pass {
+            refine(graph, rows, cols, &mut slot_of);
+        }
+        let cost = total_cost(graph, cols, &slot_of);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(Placement { rows, cols, slot_of, cost });
+        }
+    }
+    best.expect("at least one restart")
+}
+
+/// Recursively bisects `qubits` into the slot region `[r0,r1)×[c0,c1)`.
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    graph: &WeightedGraph,
+    qubits: &[usize],
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    cols: usize,
+    slot_of: &mut [usize],
+    rng: &mut SmallRng,
+) {
+    if qubits.is_empty() {
+        return;
+    }
+    let region_rows = r1 - r0;
+    let region_cols = c1 - c0;
+    if region_rows * region_cols == 1 || qubits.len() == 1 {
+        // Base case: drop remaining qubits into the region row-major. (At
+        // most one qubit remains unless the region is a single slot.)
+        let mut slots = (r0..r1).flat_map(|r| (c0..c1).map(move |c| r * cols + c));
+        for &q in qubits {
+            slot_of[q] = slots.next().expect("region has room");
+        }
+        return;
+    }
+
+    // Split the longer dimension.
+    let (a_slots, regions) = if region_rows >= region_cols {
+        let rm = r0 + region_rows / 2;
+        ((rm - r0) * region_cols, ((r0, rm, c0, c1), (rm, r1, c0, c1)))
+    } else {
+        let cm = c0 + region_cols / 2;
+        ((cm - c0) * region_rows, ((r0, r1, c0, cm), (r0, r1, cm, c1)))
+    };
+    let total_slots = region_rows * region_cols;
+    let b_slots = total_slots - a_slots;
+
+    // Target sizes proportional to slot counts, clamped to fit.
+    let k = qubits.len();
+    let mut ka = (k * a_slots + total_slots / 2) / total_slots;
+    ka = ka.min(a_slots).max(k.saturating_sub(b_slots));
+
+    // Bisect the induced subgraph.
+    let index_of: std::collections::HashMap<usize, usize> =
+        qubits.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+    let sub_edges = graph.edges().iter().filter_map(|&(a, b, w)| {
+        match (index_of.get(&a), index_of.get(&b)) {
+            (Some(&ia), Some(&ib)) => Some((ia, ib, w)),
+            _ => None,
+        }
+    });
+    let sub = WeightedGraph::from_edges(k, sub_edges);
+    let side = bisect(&sub, ka, rng);
+
+    let left: Vec<usize> = qubits.iter().enumerate().filter(|&(i, _)| !side[i]).map(|(_, &q)| q).collect();
+    let right: Vec<usize> = qubits.iter().enumerate().filter(|&(i, _)| side[i]).map(|(_, &q)| q).collect();
+    let ((ar0, ar1, ac0, ac1), (br0, br1, bc0, bc1)) = regions;
+    recurse(graph, &left, ar0, ar1, ac0, ac1, cols, slot_of, rng);
+    recurse(graph, &right, br0, br1, bc0, bc1, cols, slot_of, rng);
+}
+
+/// Best-improvement local search: swap two qubits or move a qubit to a free
+/// slot while the cost decreases.
+fn refine(graph: &WeightedGraph, rows: usize, cols: usize, slot_of: &mut [usize]) {
+    let n = graph.len();
+    let slots = rows * cols;
+    let mut occupant: Vec<Option<usize>> = vec![None; slots];
+    for (q, &s) in slot_of.iter().enumerate() {
+        occupant[s] = Some(q);
+    }
+    // Cost delta of re-seating `q` from its slot to `to`, with `ignore`
+    // excluded (the swap partner, whose own delta is computed separately).
+    let delta_move = |slot_of: &[usize], q: usize, to: usize, ignore: Option<usize>| -> i64 {
+        let from = slot_of[q];
+        let mut d = 0i64;
+        for &(u, w) in graph.neighbors(q) {
+            if Some(u) == ignore {
+                continue;
+            }
+            let w = i64::try_from(w).unwrap_or(i64::MAX);
+            d += w * (manhattan(cols, to, slot_of[u]) as i64 - manhattan(cols, from, slot_of[u]) as i64);
+        }
+        d
+    };
+
+    for _round in 0..4 * n.max(1) {
+        let mut best: Option<(usize, Option<usize>, usize, i64)> = None; // (q, partner, target_slot, delta)
+        for q in 0..n {
+            let from = slot_of[q];
+            for (target, &occ) in occupant.iter().enumerate() {
+                if target == from {
+                    continue;
+                }
+                match occ {
+                    None => {
+                        let d = delta_move(slot_of, q, target, None);
+                        if best.is_none_or(|(_, _, _, bd)| d < bd) {
+                            best = Some((q, None, target, d));
+                        }
+                    }
+                    Some(p) => {
+                        if p <= q {
+                            continue; // each unordered pair once
+                        }
+                        let mut d = delta_move(slot_of, q, target, Some(p))
+                            + delta_move(slot_of, p, from, Some(q));
+                        // The q–p edge length is unchanged by a swap; the
+                        // two deltas above excluded it symmetrically.
+                        let _ = &mut d;
+                        if best.is_none_or(|(_, _, _, bd)| d < bd) {
+                            best = Some((q, Some(p), target, d));
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((q, partner, target, d)) if d < 0 => {
+                let from = slot_of[q];
+                slot_of[q] = target;
+                occupant[target] = Some(q);
+                if let Some(p) = partner {
+                    slot_of[p] = from;
+                    occupant[from] = Some(p);
+                } else {
+                    occupant[from] = None;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_injective_and_in_range() {
+        let g = WeightedGraph::from_edges(7, (0..6).map(|i| (i, i + 1, 1)));
+        let p = place(&g, 3, 3, 3, 11);
+        let mut seen = std::collections::HashSet::new();
+        for &s in p.slot_of() {
+            assert!(s < 9);
+            assert!(seen.insert(s), "slot reused");
+        }
+    }
+
+    #[test]
+    fn ring_on_grid_is_near_optimal() {
+        // An 8-ring on a 3×3 array can be laid out with every edge adjacent
+        // (cost 8). Allow a small slack for the heuristic.
+        let g = WeightedGraph::from_edges(8, (0..8).map(|i| (i, (i + 1) % 8, 1)));
+        let p = place(&g, 3, 3, 8, 5);
+        assert!(p.cost() <= 10, "ring cost {} too high", p.cost());
+    }
+
+    #[test]
+    fn heavy_pair_lands_adjacent() {
+        let g = WeightedGraph::from_edges(5, [(0, 1, 100), (2, 3, 1), (3, 4, 1)]);
+        let p = place(&g, 3, 3, 4, 3);
+        assert_eq!(manhattan(3, p.slot_of()[0], p.slot_of()[1]), 1);
+    }
+
+    #[test]
+    fn more_restarts_never_hurt() {
+        let g = WeightedGraph::from_edges(9, (0..9).flat_map(|a| ((a + 1)..9).map(move |b| (a, b, ((a * b) % 5 + 1) as u64))));
+        let one = place(&g, 3, 3, 1, 17);
+        let many = place(&g, 3, 3, 12, 17);
+        assert!(many.cost() <= one.cost());
+    }
+
+    #[test]
+    fn cost_matches_direct_computation() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 2), (1, 2, 3), (0, 3, 1)]);
+        let p = place(&g, 2, 2, 2, 1);
+        assert_eq!(p.cost(), total_cost(&g, 2, p.slot_of()));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn rejects_overfull_array() {
+        let g = WeightedGraph::from_edges(5, []);
+        let _ = place(&g, 2, 2, 1, 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = WeightedGraph::from_edges(6, (0..5).map(|i| (i, i + 1, 1)));
+        assert_eq!(place(&g, 3, 2, 3, 9), place(&g, 3, 2, 3, 9));
+    }
+}

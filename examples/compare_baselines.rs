@@ -1,0 +1,44 @@
+//! Head-to-head comparison of Ecmas against the paper's two baselines on a
+//! selection of named benchmarks — a miniature of the paper's Table I.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+
+use ecmas::{validate_encoded, Ecmas};
+use ecmas_baselines::{AutoBraid, Edpci};
+use ecmas_chip::{Chip, CodeModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let names = ["ghz_state_n23", "ising_n10", "qft_n10", "dnn_n8", "swap_test_n25"];
+    println!(
+        "{:<16} {:>6} | {:>10} {:>9} | {:>7} {:>9}",
+        "circuit", "alpha", "AutoBraid", "Ecmas-dd", "EDPCI", "Ecmas-ls"
+    );
+    for name in names {
+        let circuit =
+            ecmas_circuit::benchmarks::by_name(name).expect("known benchmark name");
+        let n = circuit.qubits();
+        let dd = Chip::min_viable(CodeModel::DoubleDefect, n, 3)?;
+        let ls = Chip::min_viable(CodeModel::LatticeSurgery, n, 3)?;
+
+        let autobraid = AutoBraid::new().compile(&circuit, &dd)?;
+        let ecmas_dd = Ecmas::default().compile(&circuit, &dd)?;
+        let edpci = Edpci::new().compile(&circuit, &ls)?;
+        let ecmas_ls = Ecmas::default().compile(&circuit, &ls)?;
+        for enc in [&autobraid, &ecmas_dd, &edpci, &ecmas_ls] {
+            validate_encoded(&circuit, enc)?;
+        }
+        println!(
+            "{:<16} {:>6} | {:>10} {:>9} | {:>7} {:>9}",
+            name,
+            circuit.depth(),
+            autobraid.cycles(),
+            ecmas_dd.cycles(),
+            edpci.cycles(),
+            ecmas_ls.cycles()
+        );
+    }
+    println!("\n(all schedules cross-checked by the independent validator)");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Miniature of the paper's Fig. 11: how cycle counts scale with the
+//! Circuit Parallelism Degree on a fixed chip, for Ecmas and both
+//! baselines.
+//!
+//! ```sh
+//! cargo run --release --example parallelism_sweep
+//! ```
+
+use ecmas::{para_finding, Ecmas};
+use ecmas_baselines::{AutoBraid, Edpci};
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::random;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (qubits, depth, samples) = (25, 30, 5);
+    let dd = Chip::min_viable(CodeModel::DoubleDefect, qubits, 3)?;
+    let ls = Chip::min_viable(CodeModel::LatticeSurgery, qubits, 3)?;
+    println!("random circuits: {qubits} qubits, depth {depth}, {samples} samples per point");
+    println!(
+        "{:>3} {:>6} | {:>10} {:>9} | {:>7} {:>9}",
+        "PM", "gPM", "AutoBraid", "Ecmas-dd", "EDPCI", "Ecmas-ls"
+    );
+    for pm in [1, 2, 4, 6, 8, 10, 12] {
+        let group = random::test_group(qubits, depth, pm, samples, 99);
+        let mut sums = [0u64; 4];
+        let mut gpm_sum = 0usize;
+        for circuit in &group {
+            gpm_sum += para_finding(&circuit.dag()).gpm();
+            sums[0] += AutoBraid::new().compile(circuit, &dd)?.cycles();
+            sums[1] += Ecmas::default().compile(circuit, &dd)?.cycles();
+            sums[2] += Edpci::new().compile(circuit, &ls)?.cycles();
+            sums[3] += Ecmas::default().compile(circuit, &ls)?.cycles();
+        }
+        let k = group.len() as u64;
+        println!(
+            "{:>3} {:>6.1} | {:>10.1} {:>9.1} | {:>7.1} {:>9.1}",
+            pm,
+            gpm_sum as f64 / k as f64,
+            sums[0] as f64 / k as f64,
+            sums[1] as f64 / k as f64,
+            sums[2] as f64 / k as f64,
+            sums[3] as f64 / k as f64,
+        );
+    }
+    println!("\n(see `cargo run -p ecmas-bench --bin fig11` for the full-size experiment)");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a circuit, compile it for both surface-code models,
+//! and inspect the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ecmas::{validate_encoded, Ecmas};
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::Circuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy circuit: GHZ preparation followed by a round of long-range
+    // entangling gates.
+    let mut circuit = Circuit::with_name(6, "quickstart");
+    circuit.h(0);
+    for i in 0..5 {
+        circuit.cnot(i, i + 1);
+    }
+    circuit.cnot(0, 5);
+    circuit.cnot(1, 4);
+    println!(
+        "circuit `{}`: {} qubits, {} CNOTs, depth α = {}",
+        circuit.name(),
+        circuit.qubits(),
+        circuit.cnot_count(),
+        circuit.depth()
+    );
+
+    for model in [CodeModel::DoubleDefect, CodeModel::LatticeSurgery] {
+        // The paper's minimum viable chip: ⌈√n⌉ × ⌈√n⌉ tiles, bandwidth 1.
+        let chip = Chip::min_viable(model, circuit.qubits(), 3)?;
+        let encoded = Ecmas::default().compile(&circuit, &chip)?;
+        validate_encoded(&circuit, &encoded)?;
+        println!(
+            "\n{} model: Δ = {} cycles on a {}×{} tile array \
+             ({} physical qubits at d=3)",
+            model.label(),
+            encoded.cycles(),
+            chip.tile_rows(),
+            chip.tile_cols(),
+            chip.physical_qubits(),
+        );
+        println!("qubit → tile slot: {:?}", encoded.mapping());
+        if let Some(cuts) = encoded.initial_cuts() {
+            println!("initial cut types: {cuts:?}");
+        }
+        println!("routing grid:\n{}", chip.grid().ascii());
+    }
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! `ecmasc` — command-line front end: compile an OpenQASM 2.0 file to a
+//! surface-code schedule and report the result.
+//!
+//! ```sh
+//! ecmasc program.qasm [--model dd|ls] [--chip min|4x|sufficient] [--timeline N]
+//! ```
+
+use std::process::ExitCode;
+
+use ecmas::{para_finding, validate_encoded, viz, Ecmas};
+use ecmas_chip::{Chip, CodeModel};
+
+struct Args {
+    path: String,
+    model: CodeModel,
+    chip: String,
+    timeline: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut model = CodeModel::DoubleDefect;
+    let mut chip = "min".to_string();
+    let mut timeline = 0;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--model" => {
+                model = match args.next().as_deref() {
+                    Some("dd") | Some("double-defect") => CodeModel::DoubleDefect,
+                    Some("ls") | Some("lattice-surgery") => CodeModel::LatticeSurgery,
+                    other => return Err(format!("unknown model {other:?} (want dd|ls)")),
+                };
+            }
+            "--chip" => {
+                chip = args.next().ok_or("missing value for --chip")?;
+                if !matches!(chip.as_str(), "min" | "4x" | "sufficient") {
+                    return Err(format!("unknown chip {chip:?} (want min|4x|sufficient)"));
+                }
+            }
+            "--timeline" => {
+                timeline = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing/invalid value for --timeline")?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: ecmasc <file.qasm> [--model dd|ls] [--chip min|4x|sufficient] [--timeline N]".into());
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Args { path: path.ok_or("missing input file (see --help)")?, model, chip, timeline })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let source = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let circuit = ecmas_circuit::qasm::parse(&source).map_err(|e| e.to_string())?;
+    eprintln!(
+        "parsed {}: {} qubits, {} CNOTs, {} single-qubit gates, {} T gates, depth α = {}",
+        args.path,
+        circuit.qubits(),
+        circuit.cnot_count(),
+        circuit.single_gate_count(),
+        circuit.t_count(),
+        circuit.depth()
+    );
+
+    let chip = match args.chip.as_str() {
+        "min" => Chip::min_viable(args.model, circuit.qubits(), 3),
+        "4x" => Chip::four_x(args.model, circuit.qubits(), 3),
+        _ => {
+            let gpm = para_finding(&circuit.dag()).gpm();
+            Chip::sufficient(args.model, circuit.qubits(), gpm.max(1), 3)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let encoded = if args.chip == "sufficient" {
+        Ecmas::default().compile_resu(&circuit, &chip)
+    } else {
+        Ecmas::default().compile(&circuit, &chip)
+    }
+    .map_err(|e| e.to_string())?;
+    validate_encoded(&circuit, &encoded).map_err(|e| format!("internal: invalid schedule: {e}"))?;
+
+    println!(
+        "model={} chip={} ({}×{} tiles, bandwidth {}) Δ = {} cycles ({} events, {} cut modifications)",
+        args.model.label(),
+        args.chip,
+        chip.tile_rows(),
+        chip.tile_cols(),
+        chip.bandwidth(),
+        encoded.cycles(),
+        encoded.events().len(),
+        encoded.modification_count(),
+    );
+    if args.timeline > 0 {
+        print!("{}", viz::render_timeline(&encoded, args.timeline));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ecmasc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Root umbrella for examples/integration tests.

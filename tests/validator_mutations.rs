@@ -1,0 +1,242 @@
+//! Failure injection: take a known-valid schedule, corrupt it in each way
+//! the paper's constraints forbid, and assert the independent validator
+//! catches every corruption class. This is the test that keeps the
+//! validator honest — a validator that accepts corrupted schedules would
+//! silently bless buggy compilers.
+
+use ecmas::{validate_encoded, CutType, Ecmas, EncodedCircuit, Event, EventKind, ValidateError};
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::Circuit;
+use ecmas_route::Path;
+
+fn base_circuit() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.cnot(0, 1);
+    c.cnot(2, 3);
+    c.cnot(1, 2);
+    c.cnot(0, 3);
+    c
+}
+
+fn compile(model: CodeModel) -> (Circuit, EncodedCircuit) {
+    let circuit = base_circuit();
+    let chip = Chip::min_viable(model, circuit.qubits(), 3).unwrap();
+    let enc = Ecmas::default().compile(&circuit, &chip).unwrap();
+    validate_encoded(&circuit, &enc).expect("baseline must be valid");
+    (circuit, enc)
+}
+
+/// Rebuilds an encoded circuit with mutated parts.
+fn rebuild(
+    enc: &EncodedCircuit,
+    mapping: Option<Vec<usize>>,
+    cuts: Option<Option<Vec<CutType>>>,
+    events: Vec<Event>,
+) -> EncodedCircuit {
+    EncodedCircuit::new(
+        enc.chip().clone(),
+        mapping.unwrap_or_else(|| enc.mapping().to_vec()),
+        cuts.unwrap_or_else(|| enc.initial_cuts().map(<[CutType]>::to_vec)),
+        events,
+    )
+}
+
+#[test]
+fn dropping_a_gate_is_caught() {
+    let (circuit, enc) = compile(CodeModel::LatticeSurgery);
+    let mut events = enc.events().to_vec();
+    let victim = events.iter().position(|e| e.gate.is_some()).unwrap();
+    events.remove(victim);
+    let bad = rebuild(&enc, None, None, events);
+    assert!(matches!(
+        validate_encoded(&circuit, &bad),
+        Err(ValidateError::GateCoverage { .. })
+    ));
+}
+
+#[test]
+fn duplicating_a_gate_is_caught() {
+    let (circuit, enc) = compile(CodeModel::LatticeSurgery);
+    let mut events = enc.events().to_vec();
+    let copy = events.iter().find(|e| e.gate.is_some()).unwrap().clone();
+    let mut dup = copy.clone();
+    dup.start += 1000; // far away so only coverage trips, not conflicts
+    events.push(dup);
+    let bad = rebuild(&enc, None, None, events);
+    assert!(matches!(
+        validate_encoded(&circuit, &bad),
+        Err(ValidateError::GateCoverage { times: 2, .. })
+    ));
+}
+
+#[test]
+fn reordering_dependent_gates_is_caught() {
+    let (circuit, enc) = compile(CodeModel::LatticeSurgery);
+    // Gate 2 = cnot(1,2) depends on gates 0 and 1. Pull it to cycle 0 and
+    // push its parents far out.
+    let mut events = enc.events().to_vec();
+    for e in &mut events {
+        match e.gate {
+            Some(2) => e.start = 0,
+            Some(0) | Some(1) => e.start += 500,
+            _ => {}
+        }
+    }
+    let bad = rebuild(&enc, None, None, events);
+    assert!(matches!(
+        validate_encoded(&circuit, &bad),
+        Err(ValidateError::DependencyOrder { .. }) | Err(ValidateError::QubitOverlap { .. })
+    ));
+}
+
+#[test]
+fn equal_cut_braid_is_caught() {
+    let (circuit, enc) = compile(CodeModel::DoubleDefect);
+    // Force all-X initial cuts: any braid event now joins equal cuts.
+    let has_braid = enc.events().iter().any(|e| matches!(e.kind, EventKind::Braid { .. }));
+    assert!(has_braid, "baseline should braid");
+    let bad = rebuild(&enc, None, Some(Some(vec![CutType::X; 4])), enc.events().to_vec());
+    assert!(matches!(
+        validate_encoded(&circuit, &bad),
+        Err(ValidateError::CutTypeRule { .. })
+    ));
+}
+
+#[test]
+fn teleporting_path_is_caught() {
+    let (circuit, enc) = compile(CodeModel::LatticeSurgery);
+    let grid = enc.chip().grid();
+    let mut events = enc.events().to_vec();
+    // Replace one path with a non-adjacent hop between the right endpoints.
+    let e = events.iter_mut().find(|e| e.gate == Some(3)).unwrap();
+    let gate = circuit.cnot_gates()[3];
+    let from = grid.tile_cell(enc.mapping()[gate.control]);
+    let to = grid.tile_cell(enc.mapping()[gate.target]);
+    e.kind = EventKind::LatticeCnot { path: Path::from_cells(vec![from, to]) };
+    let bad = rebuild(&enc, None, None, events);
+    assert!(matches!(
+        validate_encoded(&circuit, &bad),
+        Err(ValidateError::MalformedPath { .. })
+    ));
+}
+
+#[test]
+fn wrong_endpoints_are_caught() {
+    let (circuit, enc) = compile(CodeModel::LatticeSurgery);
+    let mut events = enc.events().to_vec();
+    // Give gate 0 the path of gate 1 (wrong tiles).
+    let donor = events
+        .iter()
+        .find(|e| e.gate == Some(1))
+        .and_then(|e| e.kind.path().cloned())
+        .unwrap();
+    let e = events.iter_mut().find(|e| e.gate == Some(0)).unwrap();
+    e.kind = EventKind::LatticeCnot { path: donor };
+    let bad = rebuild(&enc, None, None, events);
+    assert!(matches!(
+        validate_encoded(&circuit, &bad),
+        Err(ValidateError::MalformedPath { .. })
+    ));
+}
+
+#[test]
+fn path_through_mapped_tile_is_caught() {
+    let (circuit, enc) = compile(CodeModel::LatticeSurgery);
+    let grid = enc.chip().grid();
+    let mut events = enc.events().to_vec();
+    // Build a straight path for gate 2 = cnot(1,2) that tunnels through a
+    // mapped tile: walk the grid row of qubit 1's tile.
+    let gate = circuit.cnot_gates()[2];
+    let from = grid.tile_cell(enc.mapping()[gate.control]);
+    let to = grid.tile_cell(enc.mapping()[gate.target]);
+    let (fr, fc) = grid.coords(from);
+    let (tr, tc) = grid.coords(to);
+    // Manhattan staircase: across the row, then down the column.
+    let mut cells = vec![from];
+    let mut c = fc;
+    while c != tc {
+        c = if c < tc { c + 1 } else { c - 1 };
+        cells.push(grid.index(fr, c));
+    }
+    let mut r = fr;
+    while r != tr {
+        r = if r < tr { r + 1 } else { r - 1 };
+        cells.push(grid.index(r, tc));
+    }
+    let tunnels_through_tile = cells[1..cells.len() - 1]
+        .iter()
+        .any(|&cell| enc.mapping().iter().any(|&slot| grid.tile_cell(slot) == cell));
+    if !tunnels_through_tile {
+        return; // mapping did not put a tile in the way; nothing to inject
+    }
+    let e = events.iter_mut().find(|e| e.gate == Some(2)).unwrap();
+    e.kind = EventKind::LatticeCnot { path: Path::from_cells(cells) };
+    let bad = rebuild(&enc, None, None, events);
+    assert!(matches!(
+        validate_encoded(&circuit, &bad),
+        Err(ValidateError::MalformedPath { .. })
+    ));
+}
+
+#[test]
+fn overlapping_paths_are_caught() {
+    // Two independent gates forced onto the same interior cell at the same
+    // cycle (constructed directly; the compiler would never emit this).
+    let mut circuit = Circuit::new(4);
+    circuit.cnot(0, 1);
+    circuit.cnot(2, 3);
+    let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
+    let grid = chip.grid();
+    let mapping = vec![0, 3, 1, 2];
+    let p0 = Path::from_cells(vec![
+        grid.tile_cell(0),
+        grid.index(1, 2),
+        grid.index(2, 2),
+        grid.index(3, 2),
+        grid.tile_cell(3),
+    ]);
+    let p1 = Path::from_cells(vec![
+        grid.tile_cell(1),
+        grid.index(2, 3),
+        grid.index(2, 2),
+        grid.index(2, 1),
+        grid.tile_cell(2),
+    ]);
+    let bad = EncodedCircuit::new(
+        chip,
+        mapping,
+        Some(vec![CutType::X, CutType::Z, CutType::X, CutType::Z]),
+        vec![
+            Event { gate: Some(0), start: 0, kind: EventKind::Braid { path: p0 } },
+            Event { gate: Some(1), start: 0, kind: EventKind::Braid { path: p1 } },
+        ],
+    );
+    assert_eq!(validate_encoded(&circuit, &bad), Err(ValidateError::PathConflict { cycle: 0 }));
+}
+
+#[test]
+fn out_of_range_mapping_is_caught() {
+    let (circuit, enc) = compile(CodeModel::LatticeSurgery);
+    let mut mapping = enc.mapping().to_vec();
+    mapping[0] = 999;
+    let bad = rebuild(&enc, Some(mapping), None, enc.events().to_vec());
+    assert_eq!(validate_encoded(&circuit, &bad), Err(ValidateError::BadMapping));
+}
+
+#[test]
+fn missing_cuts_on_double_defect_is_caught() {
+    let (circuit, enc) = compile(CodeModel::DoubleDefect);
+    let bad = rebuild(&enc, None, Some(None), enc.events().to_vec());
+    assert_eq!(validate_encoded(&circuit, &bad), Err(ValidateError::WrongModel));
+}
+
+#[test]
+fn cross_model_event_is_caught() {
+    let (circuit, enc) = compile(CodeModel::LatticeSurgery);
+    let mut events = enc.events().to_vec();
+    let e = events.iter_mut().find(|e| e.gate.is_some()).unwrap();
+    let path = e.kind.path().cloned().unwrap();
+    e.kind = EventKind::Braid { path }; // braids do not exist in LS
+    let bad = rebuild(&enc, None, None, events);
+    assert_eq!(validate_encoded(&circuit, &bad), Err(ValidateError::WrongModel));
+}

@@ -10,7 +10,10 @@ fn main() {
     let samples = sample_count();
     println!("Fig. 11: effect of circuit parallelism ({samples} circuits per point)");
     println!("(a) lattice surgery: EDPCI vs Ours | (b) double defect: AutoBraid vs Ours");
-    println!("{:>3} {:>12} {:>12} | {:>12} {:>12}", "PM", "EDPCI", "Ours-ls", "AutoBraid", "Ours-dd");
+    println!(
+        "{:>3} {:>12} {:>12} | {:>12} {:>12}",
+        "PM", "EDPCI", "Ours-ls", "AutoBraid", "Ours-dd"
+    );
     for pm in 1..=21 {
         let (edpci, ours_ls) = fig11_point(CodeModel::LatticeSurgery, pm, samples);
         let (autobraid, ours_dd) = fig11_point(CodeModel::DoubleDefect, pm, samples);

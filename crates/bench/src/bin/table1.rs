@@ -5,7 +5,6 @@
 use ecmas_bench::{print_rows, table1_row};
 
 fn main() {
-    let rows: Vec<_> =
-        ecmas_circuit::benchmarks::table1_suite().iter().map(table1_row).collect();
+    let rows: Vec<_> = ecmas_circuit::benchmarks::table1_suite().iter().map(table1_row).collect();
     print_rows("Table I: overview of experiment results (cycles)", &rows);
 }

@@ -4,7 +4,6 @@
 use ecmas_bench::{print_rows, table2_row};
 
 fn main() {
-    let rows: Vec<_> =
-        ecmas_circuit::benchmarks::ablation_suite().iter().map(table2_row).collect();
+    let rows: Vec<_> = ecmas_circuit::benchmarks::ablation_suite().iter().map(table2_row).collect();
     print_rows("Table II: comparison of location initialization methods (cycles)", &rows);
 }

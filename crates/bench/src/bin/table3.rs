@@ -4,7 +4,6 @@
 use ecmas_bench::{print_rows, table3_row};
 
 fn main() {
-    let rows: Vec<_> =
-        ecmas_circuit::benchmarks::ablation_suite().iter().map(table3_row).collect();
+    let rows: Vec<_> = ecmas_circuit::benchmarks::ablation_suite().iter().map(table3_row).collect();
     print_rows("Table III: comparison of cut type initialization methods (cycles)", &rows);
 }

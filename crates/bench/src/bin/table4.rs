@@ -4,7 +4,6 @@
 use ecmas_bench::{print_rows, table4_row};
 
 fn main() {
-    let rows: Vec<_> =
-        ecmas_circuit::benchmarks::ablation_suite().iter().map(table4_row).collect();
+    let rows: Vec<_> = ecmas_circuit::benchmarks::ablation_suite().iter().map(table4_row).collect();
     print_rows("Table IV: comparison of gate scheduling algorithms (cycles)", &rows);
 }

@@ -5,7 +5,6 @@
 use ecmas_bench::{print_rows, table5_row};
 
 fn main() {
-    let rows: Vec<_> =
-        ecmas_circuit::benchmarks::ablation_suite().iter().map(table5_row).collect();
+    let rows: Vec<_> = ecmas_circuit::benchmarks::ablation_suite().iter().map(table5_row).collect();
     print_rows("Table V: comparison of cut type scheduling strategies (cycles)", &rows);
 }

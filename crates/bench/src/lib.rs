@@ -26,7 +26,9 @@
 
 use std::time::Instant;
 
-use ecmas::{validate_encoded, CutInitStrategy, CutPolicy, Ecmas, EcmasConfig, GateOrder, LocationStrategy};
+use ecmas::{
+    validate_encoded, CutInitStrategy, CutPolicy, Ecmas, EcmasConfig, GateOrder, LocationStrategy,
+};
 use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::Circuit;
@@ -134,7 +136,13 @@ pub fn table1_row(circuit: &Circuit) -> Row {
         ("Ecmas-ls Min", run_ecmas(circuit, &ls_min, EcmasConfig::default())),
         ("Ecmas-ls 4X", run_ecmas(circuit, &ls_4x, EcmasConfig::default())),
     ];
-    Row { name: circuit.name().to_string(), n, alpha: circuit.depth(), g: circuit.cnot_count(), cells }
+    Row {
+        name: circuit.name().to_string(),
+        n,
+        alpha: circuit.depth(),
+        g: circuit.cnot_count(),
+        cells,
+    }
 }
 
 /// Table II: location-initialization ablation (lattice surgery, min chip).
@@ -145,10 +153,19 @@ pub fn table2_row(circuit: &Circuit) -> Row {
     let with_location = |location| EcmasConfig { location, ..EcmasConfig::default() };
     let cells = vec![
         ("Trivial", run_ecmas(circuit, &chip, with_location(LocationStrategy::Trivial))),
-        ("Metis", run_ecmas(circuit, &chip, with_location(LocationStrategy::Partitioner { seed: 11 }))),
+        (
+            "Metis",
+            run_ecmas(circuit, &chip, with_location(LocationStrategy::Partitioner { seed: 11 })),
+        ),
         ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
     ];
-    Row { name: circuit.name().to_string(), n, alpha: circuit.depth(), g: circuit.cnot_count(), cells }
+    Row {
+        name: circuit.name().to_string(),
+        n,
+        alpha: circuit.depth(),
+        g: circuit.cnot_count(),
+        cells,
+    }
 }
 
 /// Table III: cut-type-initialization ablation (double defect, min chip).
@@ -162,7 +179,13 @@ pub fn table3_row(circuit: &Circuit) -> Row {
         ("Max-cut", run_ecmas(circuit, &chip, with_init(CutInitStrategy::MaxCut { seed: 23 }))),
         ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
     ];
-    Row { name: circuit.name().to_string(), n, alpha: circuit.depth(), g: circuit.cnot_count(), cells }
+    Row {
+        name: circuit.name().to_string(),
+        n,
+        alpha: circuit.depth(),
+        g: circuit.cnot_count(),
+        cells,
+    }
 }
 
 /// Table IV: gate-scheduling ablation (lattice surgery, min chip).
@@ -175,7 +198,13 @@ pub fn table4_row(circuit: &Circuit) -> Row {
         ("Circuit-order", run_ecmas(circuit, &chip, with_order(GateOrder::CircuitOrder))),
         ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
     ];
-    Row { name: circuit.name().to_string(), n, alpha: circuit.depth(), g: circuit.cnot_count(), cells }
+    Row {
+        name: circuit.name().to_string(),
+        n,
+        alpha: circuit.depth(),
+        g: circuit.cnot_count(),
+        cells,
+    }
 }
 
 /// Table V: cut-type-scheduling ablation (double defect, min chip).
@@ -189,7 +218,13 @@ pub fn table5_row(circuit: &Circuit) -> Row {
         ("Time-first", run_ecmas(circuit, &chip, with_policy(CutPolicy::TimeFirst))),
         ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
     ];
-    Row { name: circuit.name().to_string(), n, alpha: circuit.depth(), g: circuit.cnot_count(), cells }
+    Row {
+        name: circuit.name().to_string(),
+        n,
+        alpha: circuit.depth(),
+        g: circuit.cnot_count(),
+        cells,
+    }
 }
 
 /// Fig. 11 point: mean cycles over a test group of random circuits at one

@@ -398,8 +398,14 @@ mod tests {
 
     #[test]
     fn constructors_validate() {
-        assert_eq!(Chip::uniform(CodeModel::DoubleDefect, 0, 3, 1, 3), Err(ChipError::EmptyTileArray));
-        assert_eq!(Chip::uniform(CodeModel::DoubleDefect, 3, 3, 1, 0), Err(ChipError::ZeroCodeDistance));
+        assert_eq!(
+            Chip::uniform(CodeModel::DoubleDefect, 0, 3, 1, 3),
+            Err(ChipError::EmptyTileArray)
+        );
+        assert_eq!(
+            Chip::uniform(CodeModel::DoubleDefect, 3, 3, 1, 0),
+            Err(ChipError::ZeroCodeDistance)
+        );
         assert_eq!(Chip::min_viable(CodeModel::DoubleDefect, 0, 3), Err(ChipError::EmptyTileArray));
         let mut chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
         assert!(chip.set_h_bandwidth(3, 1).is_err());

@@ -30,7 +30,9 @@ pub enum ChipError {
 impl fmt::Display for ChipError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            ChipError::EmptyTileArray => write!(f, "tile array must have at least one row and column"),
+            ChipError::EmptyTileArray => {
+                write!(f, "tile array must have at least one row and column")
+            }
             ChipError::TooManyQubits { qubits, slots } => {
                 write!(f, "{qubits} logical qubits do not fit in {slots} tile slots")
             }

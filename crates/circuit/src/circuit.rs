@@ -362,9 +362,7 @@ impl Circuit {
     pub fn t_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|op| {
-                matches!(op, Op::Single { kind: SingleGate::T | SingleGate::Tdg, .. })
-            })
+            .filter(|op| matches!(op, Op::Single { kind: SingleGate::T | SingleGate::Tdg, .. }))
             .count()
     }
 
@@ -432,10 +430,7 @@ mod tests {
     #[test]
     fn try_cnot_rejects_out_of_range() {
         let mut c = Circuit::new(2);
-        assert_eq!(
-            c.try_cnot(0, 5),
-            Err(CircuitError::QubitOutOfRange { qubit: 5, qubits: 2 })
-        );
+        assert_eq!(c.try_cnot(0, 5), Err(CircuitError::QubitOutOfRange { qubit: 5, qubits: 2 }));
     }
 
     #[test]

@@ -139,11 +139,7 @@ impl CommGraph {
     #[must_use]
     pub fn cut_weight(&self, side: &[u8]) -> u64 {
         assert_eq!(side.len(), self.qubits, "side length mismatch");
-        self.edges
-            .iter()
-            .filter(|e| side[e.a] != side[e.b])
-            .map(|e| u64::from(e.weight))
-            .sum()
+        self.edges.iter().filter(|e| side[e.a] != side[e.b]).map(|e| u64::from(e.weight)).sum()
     }
 }
 

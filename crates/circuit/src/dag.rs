@@ -215,7 +215,7 @@ impl GateDag {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::circuit::Circuit;
 
     fn chain3() -> Circuit {

@@ -153,13 +153,12 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, QasmError> {
                 if j == bytes.len() {
                     return Err(QasmError::new(line, "unterminated string literal"));
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Str(src[start..j].to_string()),
-                    line,
-                });
+                tokens.push(Token { kind: TokenKind::Str(src[start..j].to_string()), line });
                 i = j + 1;
             }
-            _ if c.is_ascii_digit() || (c == '.' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) => {
+            _ if c.is_ascii_digit()
+                || (c == '.' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) =>
+            {
                 let start = i;
                 let mut j = i;
                 let mut seen_exp = false;

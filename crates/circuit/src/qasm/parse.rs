@@ -150,9 +150,7 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map_or(0, |t| t.line)
+        self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))).map_or(0, |t| t.line)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -171,7 +169,10 @@ impl Parser {
                 t.line,
                 format!("expected {}, found {}", kind.describe(), t.kind.describe()),
             )),
-            None => Err(QasmError::new(line, format!("expected {}, found end of input", kind.describe()))),
+            None => Err(QasmError::new(
+                line,
+                format!("expected {}, found end of input", kind.describe()),
+            )),
         }
     }
 
@@ -179,7 +180,10 @@ impl Parser {
         let line = self.line();
         match self.next() {
             Some(Token { kind: TokenKind::Ident(s), line }) => Ok((s, line)),
-            Some(t) => Err(QasmError::new(t.line, format!("expected identifier, found {}", t.kind.describe()))),
+            Some(t) => Err(QasmError::new(
+                t.line,
+                format!("expected identifier, found {}", t.kind.describe()),
+            )),
             None => Err(QasmError::new(line, "expected identifier, found end of input")),
         }
     }
@@ -195,7 +199,10 @@ impl Parser {
                     Err(QasmError::new(line, format!("expected a non-negative integer, found {v}")))
                 }
             }
-            Some(t) => Err(QasmError::new(t.line, format!("expected integer, found {}", t.kind.describe()))),
+            Some(t) => Err(QasmError::new(
+                t.line,
+                format!("expected integer, found {}", t.kind.describe()),
+            )),
             None => Err(QasmError::new(line, "expected integer, found end of input")),
         }
     }
@@ -336,17 +343,16 @@ impl Parser {
     fn gate_def(&mut self) -> Result<(), QasmError> {
         let (name, line) = self.expect_ident()?;
         let mut params = Vec::new();
-        if self.eat(&TokenKind::LParen)
-            && !self.eat(&TokenKind::RParen) {
-                loop {
-                    let (p, _) = self.expect_ident()?;
-                    params.push(p);
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                let (p, _) = self.expect_ident()?;
+                params.push(p);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(&TokenKind::RParen)?;
             }
+            self.expect(&TokenKind::RParen)?;
+        }
         let mut qargs = Vec::new();
         loop {
             let (q, _) = self.expect_ident()?;
@@ -366,17 +372,17 @@ impl Parser {
                 self.expect(&TokenKind::Semicolon)?;
                 continue;
             }
-            let mut call = BodyCall { name: gname, line: gline, params: Vec::new(), qargs: Vec::new() };
-            if self.eat(&TokenKind::LParen)
-                && !self.eat(&TokenKind::RParen) {
-                    loop {
-                        call.params.push(self.expr()?);
-                        if !self.eat(&TokenKind::Comma) {
-                            break;
-                        }
+            let mut call =
+                BodyCall { name: gname, line: gline, params: Vec::new(), qargs: Vec::new() };
+            if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                loop {
+                    call.params.push(self.expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
                     }
-                    self.expect(&TokenKind::RParen)?;
                 }
+                self.expect(&TokenKind::RParen)?;
+            }
             loop {
                 let (q, qline) = self.expect_ident()?;
                 if !qargs.contains(&q) {
@@ -404,16 +410,15 @@ impl Parser {
 
     fn gate_application(&mut self, name: String, line: usize) -> Result<(), QasmError> {
         let mut params = Vec::new();
-        if self.eat(&TokenKind::LParen)
-            && !self.eat(&TokenKind::RParen) {
-                loop {
-                    params.push(self.expr()?);
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(&TokenKind::RParen)?;
             }
+            self.expect(&TokenKind::RParen)?;
+        }
         let env = HashMap::new();
         let mut values = Vec::with_capacity(params.len());
         for p in &params {
@@ -462,7 +467,10 @@ impl Parser {
         depth: usize,
     ) -> Result<(), QasmError> {
         if depth > MAX_EXPANSION_DEPTH {
-            return Err(QasmError::new(line, format!("gate `{name}` expansion recurses too deeply")));
+            return Err(QasmError::new(
+                line,
+                format!("gate `{name}` expansion recurses too deeply"),
+            ));
         }
         let arity_err = |want_p: usize, want_q: usize| {
             QasmError::new(
@@ -501,8 +509,7 @@ impl Parser {
             }
             "u2" => {
                 check(2, 1)?;
-                self.circuit
-                    .single(qubits[0], SingleGate::U(PI / 2.0, params[0], params[1]));
+                self.circuit.single(qubits[0], SingleGate::U(PI / 2.0, params[0], params[1]));
             }
             "u1" | "p" | "u0" => {
                 check(1, 1)?;
@@ -672,12 +679,8 @@ impl Parser {
                 }
                 let env: HashMap<String, f64> =
                     def.params.iter().cloned().zip(params.iter().copied()).collect();
-                let qmap: HashMap<&str, usize> = def
-                    .qargs
-                    .iter()
-                    .map(String::as_str)
-                    .zip(qubits.iter().copied())
-                    .collect();
+                let qmap: HashMap<&str, usize> =
+                    def.qargs.iter().map(String::as_str).zip(qubits.iter().copied()).collect();
                 for call in &def.body {
                     let mut vals = Vec::with_capacity(call.params.len());
                     for p in &call.params {
@@ -798,7 +801,10 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 Ok(inner)
             }
-            Some(t) => Err(QasmError::new(t.line, format!("expected expression, found {}", t.kind.describe()))),
+            Some(t) => Err(QasmError::new(
+                t.line,
+                format!("expected expression, found {}", t.kind.describe()),
+            )),
             None => Err(QasmError::new(line, "expected expression, found end of input")),
         }
     }
@@ -851,18 +857,14 @@ mod tests {
 
     #[test]
     fn user_gate_expansion() {
-        let c = parse_ok(
-            "qreg q[2];\ngate bell a, b { h a; cx a, b; }\nbell q[0], q[1];\n",
-        );
+        let c = parse_ok("qreg q[2];\ngate bell a, b { h a; cx a, b; }\nbell q[0], q[1];\n");
         assert_eq!(c.cnot_count(), 1);
         assert_eq!(c.op_count(), 2);
     }
 
     #[test]
     fn parameterized_user_gate() {
-        let c = parse_ok(
-            "qreg q[1];\ngate tilt(t) a { rz(t/2) a; }\ntilt(pi) q[0];\n",
-        );
+        let c = parse_ok("qreg q[1];\ngate tilt(t) a { rz(t/2) a; }\ntilt(pi) q[0];\n");
         match c.ops()[0] {
             Op::Single { kind: SingleGate::Rz(v), .. } => {
                 assert!((v - PI / 2.0).abs() < 1e-12);
@@ -997,8 +999,10 @@ mod gate_set_tests {
 
     #[test]
     fn single_qubit_extensions() {
-        let c = parse(&format!("{HEADER}qreg q[1];\nsx q[0];\nsxdg q[0];\nu2(0,pi) q[0];\nid q[0];\nu0(0) q[0];\n"))
-            .expect("parse");
+        let c = parse(&format!(
+            "{HEADER}qreg q[1];\nsx q[0];\nsxdg q[0];\nu2(0,pi) q[0];\nid q[0];\nu0(0) q[0];\n"
+        ))
+        .expect("parse");
         assert_eq!(c.cnot_count(), 0);
         assert!(c.op_count() >= 4);
     }
@@ -1011,10 +1015,9 @@ mod gate_set_tests {
 
     #[test]
     fn nested_if_applies_inner_gate() {
-        let c = parse(&format!(
-            "{HEADER}qreg q[2];\ncreg c[1];\nif (c==0) if (c==1) cx q[0], q[1];\n"
-        ))
-        .expect("parse");
+        let c =
+            parse(&format!("{HEADER}qreg q[2];\ncreg c[1];\nif (c==0) if (c==1) cx q[0], q[1];\n"))
+                .expect("parse");
         assert_eq!(c.cnot_count(), 1);
     }
 

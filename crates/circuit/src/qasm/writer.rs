@@ -31,10 +31,8 @@ pub fn to_qasm(circuit: &Circuit) -> String {
         let _ = writeln!(out, "// circuit: {}", circuit.name());
     }
     let _ = writeln!(out, "qreg q[{n}];");
-    let needs_creg = circuit
-        .ops()
-        .iter()
-        .any(|op| matches!(op, Op::Single { kind: SingleGate::Measure, .. }));
+    let needs_creg =
+        circuit.ops().iter().any(|op| matches!(op, Op::Single { kind: SingleGate::Measure, .. }));
     if needs_creg {
         let _ = writeln!(out, "creg c[{n}];");
     }

@@ -41,7 +41,11 @@ use crate::circuit::Circuit;
 #[must_use]
 pub fn layered(n: usize, depth: usize, parallelism: usize, seed: u64) -> Circuit {
     assert!(parallelism > 0, "parallelism must be positive");
-    assert!(2 * parallelism <= n, "a layer of {parallelism} CNOTs needs {} qubits", 2 * parallelism);
+    assert!(
+        2 * parallelism <= n,
+        "a layer of {parallelism} CNOTs needs {} qubits",
+        2 * parallelism
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut c = Circuit::with_name(n, format!("random_n{n}_d{depth}_p{parallelism}"));
     let mut anchor: Option<usize> = None;
@@ -75,10 +79,14 @@ pub fn layered(n: usize, depth: usize, parallelism: usize, seed: u64) -> Circuit
 /// Generates `count` circuits with consecutive seeds, as the paper's "test
 /// group" of 50 circuits per parallelism value.
 #[must_use]
-pub fn test_group(n: usize, depth: usize, parallelism: usize, count: usize, seed: u64) -> Vec<Circuit> {
-    (0..count)
-        .map(|i| layered(n, depth, parallelism, seed.wrapping_add(i as u64)))
-        .collect()
+pub fn test_group(
+    n: usize,
+    depth: usize,
+    parallelism: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Circuit> {
+    (0..count).map(|i| layered(n, depth, parallelism, seed.wrapping_add(i as u64))).collect()
 }
 
 #[cfg(test)]

@@ -86,9 +86,7 @@ pub fn initialize_cuts(dag: &GateDag, comm: &CommGraph, strategy: CutInitStrateg
         CutInitStrategy::AllSame => vec![CutType::X; n],
         CutInitStrategy::Random { seed } => {
             let mut rng = SmallRng::seed_from_u64(seed);
-            (0..n)
-                .map(|_| if rng.gen_bool(0.5) { CutType::X } else { CutType::Z })
-                .collect()
+            (0..n).map(|_| if rng.gen_bool(0.5) { CutType::X } else { CutType::Z }).collect()
         }
         CutInitStrategy::MaxCut { seed } => {
             let g = WeightedGraph::from_edges(
@@ -118,11 +116,7 @@ pub fn initialize_cuts(dag: &GateDag, comm: &CommGraph, strategy: CutInitStrateg
 /// the quantity max-cut maximizes; useful in tests and diagnostics.
 #[must_use]
 pub fn different_cut_weight(comm: &CommGraph, cuts: &[CutType]) -> u64 {
-    comm.edges()
-        .iter()
-        .filter(|e| cuts[e.a] != cuts[e.b])
-        .map(|e| u64::from(e.weight))
-        .sum()
+    comm.edges().iter().filter(|e| cuts[e.a] != cuts[e.b]).map(|e| u64::from(e.weight)).sum()
 }
 
 #[cfg(test)]

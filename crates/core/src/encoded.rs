@@ -158,10 +158,7 @@ impl EncodedCircuit {
     /// Number of cut-modification events (a diagnostic for the ablations).
     #[must_use]
     pub fn modification_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::CutModification { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e.kind, EventKind::CutModification { .. })).count()
     }
 }
 
@@ -487,10 +484,7 @@ mod tests {
             Some(vec![CutType::X, CutType::X]),
             vec![Event { gate: Some(0), start: 0, kind: EventKind::Braid { path } }],
         );
-        assert_eq!(
-            validate_encoded(&c, &enc),
-            Err(ValidateError::CutTypeRule { gate: 0 })
-        );
+        assert_eq!(validate_encoded(&c, &enc), Err(ValidateError::CutTypeRule { gate: 0 }));
     }
 
     #[test]

@@ -261,7 +261,14 @@ pub fn schedule_limited(
                                 let end = cycle + DIRECT_LATENCY;
                                 qubit_free[a] = end;
                                 qubit_free[b] = end;
-                                complete(dag, g, end, &mut pending_parents, &mut earliest, &mut heap);
+                                complete(
+                                    dag,
+                                    g,
+                                    end,
+                                    &mut pending_parents,
+                                    &mut earliest,
+                                    &mut heap,
+                                );
                                 remaining[a * n + b] -= 1;
                                 remaining[b * n + a] -= 1;
                                 done += 1;
@@ -667,14 +674,9 @@ mod policy_tests {
         c.cnot(0, 1);
         let chip = Chip::min_viable(CodeModel::DoubleDefect, 2, 3).unwrap();
         let cuts = vec![CutType::X, CutType::X];
-        let enc = schedule_limited(
-            &c.dag(),
-            &chip,
-            &[0, 1],
-            Some(&cuts),
-            ScheduleConfig::default(),
-        )
-        .unwrap();
+        let enc =
+            schedule_limited(&c.dag(), &chip, &[0, 1], Some(&cuts), ScheduleConfig::default())
+                .unwrap();
         validate_encoded(&c, &enc).unwrap();
         assert_eq!(enc.modification_count(), 1);
         assert_eq!(enc.cycles(), 5, "flip(3) + braid(1) + braid(1)");
@@ -687,14 +689,9 @@ mod policy_tests {
         c.cnot(0, 1);
         let chip = Chip::min_viable(CodeModel::DoubleDefect, 2, 3).unwrap();
         let cuts = vec![CutType::X, CutType::X];
-        let enc = schedule_limited(
-            &c.dag(),
-            &chip,
-            &[0, 1],
-            Some(&cuts),
-            ScheduleConfig::default(),
-        )
-        .unwrap();
+        let enc =
+            schedule_limited(&c.dag(), &chip, &[0, 1], Some(&cuts), ScheduleConfig::default())
+                .unwrap();
         assert_eq!(enc.modification_count(), 0);
         assert_eq!(enc.cycles(), 3);
     }
@@ -711,14 +708,9 @@ mod policy_tests {
         c.cnot(1, 2);
         let chip = Chip::min_viable(CodeModel::DoubleDefect, 3, 3).unwrap();
         let cuts = vec![CutType::X, CutType::X, CutType::Z];
-        let enc = schedule_limited(
-            &c.dag(),
-            &chip,
-            &[0, 1, 2],
-            Some(&cuts),
-            ScheduleConfig::default(),
-        )
-        .unwrap();
+        let enc =
+            schedule_limited(&c.dag(), &chip, &[0, 1, 2], Some(&cuts), ScheduleConfig::default())
+                .unwrap();
         validate_encoded(&c, &enc).unwrap();
         let flipped: Vec<usize> = enc
             .events()
@@ -765,8 +757,9 @@ mod policy_tests {
         c.cnot(2, 3);
         c.cnot(4, 5); // loose gate
         let chip = Chip::min_viable(CodeModel::LatticeSurgery, 6, 3).unwrap();
-        let enc = schedule_limited(&c.dag(), &chip, &[0, 1, 2, 3, 4, 5], None, ScheduleConfig::default())
-            .unwrap();
+        let enc =
+            schedule_limited(&c.dag(), &chip, &[0, 1, 2, 3, 4, 5], None, ScheduleConfig::default())
+                .unwrap();
         validate_encoded(&c, &enc).unwrap();
         assert_eq!(enc.cycles() as usize, c.depth(), "chain must not be delayed");
     }

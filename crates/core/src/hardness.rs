@@ -59,9 +59,7 @@ impl SatInstance {
     /// Panics if `assignment.len() < self.vars`.
     #[must_use]
     pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|clause| {
-            clause.iter().any(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses.iter().all(|clause| clause.iter().any(|l| assignment[l.var] == l.positive))
     }
 }
 
@@ -179,7 +177,10 @@ mod tests {
     fn satisfied_by_checks_all_clauses() {
         let inst = SatInstance {
             vars: 2,
-            clauses: vec![[Lit::pos(0), Lit::pos(0), Lit::neg(1)], [Lit::neg(0), Lit::pos(1), Lit::pos(1)]],
+            clauses: vec![
+                [Lit::pos(0), Lit::pos(0), Lit::neg(1)],
+                [Lit::neg(0), Lit::pos(1), Lit::pos(1)],
+            ],
         };
         assert!(inst.satisfied_by(&[true, true]));
         assert!(!inst.satisfied_by(&[true, false]));
@@ -237,8 +238,9 @@ mod tests {
         }
         let chip = Chip::sufficient(CodeModel::DoubleDefect, n, 8, 3).unwrap();
         let mapping: Vec<usize> = (0..n).collect();
-        let enc = schedule_limited(&c.dag(), &chip, &mapping, Some(&cuts), ScheduleConfig::default())
-            .unwrap();
+        let enc =
+            schedule_limited(&c.dag(), &chip, &mapping, Some(&cuts), ScheduleConfig::default())
+                .unwrap();
         enc.cycles()
     }
 
@@ -252,10 +254,7 @@ mod tests {
         for sat in [[true, true, true], [true, false, false], [false, false, true]] {
             assert!(inst.satisfied_by(&sat));
             let fast = cycles_under(&inst, &sat);
-            assert!(
-                fast < falsifying,
-                "satisfying {sat:?} took {fast} ≥ falsifying {falsifying}"
-            );
+            assert!(fast < falsifying, "satisfying {sat:?} took {fast} ≥ falsifying {falsifying}");
         }
     }
 

@@ -68,12 +68,7 @@ pub fn determine_shape(chip: &Chip, n: usize) -> Result<SubArray, CompileError> 
         }
     }
     let (a, b) = shape;
-    Ok(SubArray {
-        rows: a,
-        cols: b,
-        row_offset: (rows - a) / 2,
-        col_offset: (cols - b) / 2,
-    })
+    Ok(SubArray { rows: a, cols: b, row_offset: (rows - a) / 2, col_offset: (cols - b) / 2 })
 }
 
 /// A rectangular region of tile slots within the chip array.
@@ -113,19 +108,13 @@ pub fn initial_mapping(
     if n > rows * cols {
         return Err(CompileError::TooManyQubits { qubits: n, slots: rows * cols });
     }
-    let graph = WeightedGraph::from_edges(
-        n,
-        comm.edges().iter().map(|e| (e.a, e.b, u64::from(e.weight))),
-    );
+    let graph =
+        WeightedGraph::from_edges(n, comm.edges().iter().map(|e| (e.a, e.b, u64::from(e.weight))));
     let mapping = match strategy {
         LocationStrategy::Ecmas { restarts, seed } => {
             let region = determine_shape(chip, n)?;
             let placement = place_opts(&graph, region.rows, region.cols, restarts, seed, true);
-            placement
-                .slot_of()
-                .iter()
-                .map(|&local| region.to_chip_slot(local, chip))
-                .collect()
+            placement.slot_of().iter().map(|&local| region.to_chip_slot(local, chip)).collect()
         }
         LocationStrategy::Partitioner { seed } => {
             let placement = place_opts(&graph, rows, cols, 1, seed, false);
@@ -209,11 +198,8 @@ pub fn adjust_bandwidth(chip: &Chip, mapping: &[usize], comm: &CommGraph) -> Chi
 /// channel is not free: node-disjoint detours need it, so the threshold
 /// errs conservative.
 fn redistribute(chip: &mut Chip, horizontal: bool, usage: &[u64]) {
-    let mut lanes: Vec<u32> = if horizontal {
-        chip.h_bandwidths().to_vec()
-    } else {
-        chip.v_bandwidths().to_vec()
-    };
+    let mut lanes: Vec<u32> =
+        if horizontal { chip.h_bandwidths().to_vec() } else { chip.v_bandwidths().to_vec() };
     let channels = lanes.len();
     if channels < 2 || usage.iter().all(|&u| u == 0) {
         return;
@@ -221,12 +207,8 @@ fn redistribute(chip: &mut Chip, horizontal: bool, usage: &[u64]) {
     let total: u32 = lanes.iter().sum();
     for _ in 0..total {
         // Usage per lane, scaled to integers to avoid float compare.
-        let ratio = |i: usize, lanes: &[u32]| -> u64 {
-            usage[i] * 1000 / u64::from(lanes[i])
-        };
-        let recipient = (0..channels)
-            .max_by_key(|&i| ratio(i, &lanes))
-            .expect("channels >= 2");
+        let ratio = |i: usize, lanes: &[u32]| -> u64 { usage[i] * 1000 / u64::from(lanes[i]) };
+        let recipient = (0..channels).max_by_key(|&i| ratio(i, &lanes)).expect("channels >= 2");
         let donor = (0..channels)
             .filter(|&i| lanes[i] > 1 && i != recipient)
             .min_by_key(|&i| ratio(i, &lanes));
@@ -329,7 +311,8 @@ mod tests {
                 .map(|e| u64::from(e.weight) * chip.tile_distance(m[e.a], m[e.b]) as u64)
                 .sum()
         };
-        let ecmas = initial_mapping(&comm, &chip, LocationStrategy::Ecmas { restarts: 4, seed: 2 }).unwrap();
+        let ecmas = initial_mapping(&comm, &chip, LocationStrategy::Ecmas { restarts: 4, seed: 2 })
+            .unwrap();
         let trivial = initial_mapping(&comm, &chip, LocationStrategy::Trivial).unwrap();
         assert!(cost(&ecmas) < cost(&trivial), "{} !< {}", cost(&ecmas), cost(&trivial));
     }
@@ -408,8 +391,7 @@ mod shape_edge_cases {
     fn to_chip_slot_round_trips() {
         let chip = Chip::uniform(CodeModel::DoubleDefect, 4, 4, 1, 3).unwrap();
         let region = determine_shape(&chip, 4).unwrap();
-        let slots: Vec<usize> =
-            (0..4).map(|local| region.to_chip_slot(local, &chip)).collect();
+        let slots: Vec<usize> = (0..4).map(|local| region.to_chip_slot(local, &chip)).collect();
         let unique: std::collections::HashSet<_> = slots.iter().collect();
         assert_eq!(unique.len(), 4);
         assert!(slots.iter().all(|&s| s < 16));

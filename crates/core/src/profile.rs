@@ -139,12 +139,7 @@ pub fn para_finding(dag: &GateDag) -> ExecutionScheme {
                 continue;
             }
             let lo = dag.parents(g).iter().map(|&p| layer_of[p] + 1).max().unwrap_or(1);
-            let hi = dag
-                .children(g)
-                .iter()
-                .map(|&c| layer_of[c] - 1)
-                .min()
-                .unwrap_or(depth);
+            let hi = dag.children(g).iter().map(|&c| layer_of[c] - 1).min().unwrap_or(depth);
             let best = (lo..=hi).min_by_key(|&l| (load[l], l)).unwrap_or(layer_of[g]);
             if load[best] + 1 < load[layer_of[g]] {
                 load[layer_of[g]] -= 1;

@@ -83,10 +83,7 @@ fn schedule_sufficient_ls(
                 }
             }
             if still.len() == pending.len() {
-                return Err(CompileError::ScheduleStuck {
-                    cycle,
-                    pending: still.len(),
-                });
+                return Err(CompileError::ScheduleStuck { cycle, pending: still.len() });
             }
             pending = still;
             cycle += 1;
@@ -173,8 +170,7 @@ fn schedule_sufficient_dd(
                 cuts = Some(target);
             }
             Some(current) => {
-                let flips: Vec<usize> =
-                    (0..n).filter(|&q| current[q] != target[q]).collect();
+                let flips: Vec<usize> = (0..n).filter(|&q| current[q] != target[q]).collect();
                 if !flips.is_empty() {
                     for &q in &flips {
                         events.push(Event {
@@ -248,8 +244,7 @@ mod tests {
             let dag = c.dag();
             let scheme = para_finding(&dag);
             let chip = sufficient_chip(CodeModel::LatticeSurgery, &c, scheme.gpm());
-            let enc =
-                schedule_sufficient(&dag, &scheme, &chip, &identity(c.qubits())).unwrap();
+            let enc = schedule_sufficient(&dag, &scheme, &chip, &identity(c.qubits())).unwrap();
             assert_eq!(enc.cycles() as usize, dag.depth(), "{}: LS ReSu must hit α", c.name());
             validate_encoded(&c, &enc).unwrap();
         }
@@ -261,8 +256,7 @@ mod tests {
             let dag = c.dag();
             let scheme = para_finding(&dag);
             let chip = sufficient_chip(CodeModel::DoubleDefect, &c, scheme.gpm());
-            let enc =
-                schedule_sufficient(&dag, &scheme, &chip, &identity(c.qubits())).unwrap();
+            let enc = schedule_sufficient(&dag, &scheme, &chip, &identity(c.qubits())).unwrap();
             validate_encoded(&c, &enc).unwrap();
             let bound = (5 * dag.depth()).div_ceil(2) + 3;
             assert!(

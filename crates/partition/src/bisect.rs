@@ -77,7 +77,8 @@ fn kl_pass(graph: &WeightedGraph, side: &mut [bool]) -> i64 {
     let mut locked = vec![false; n];
     let mut trial = side.to_vec();
     let mut swaps: Vec<(usize, usize, i64)> = Vec::new();
-    let pair_count = trial.iter().filter(|&&s| !s).count().min(trial.iter().filter(|&&s| s).count());
+    let pair_count =
+        trial.iter().filter(|&&s| !s).count().min(trial.iter().filter(|&&s| s).count());
 
     for _ in 0..pair_count {
         // Best unlocked (left, right) pair by gain = D[a] + D[b] − 2·w(a,b).

@@ -98,11 +98,8 @@ impl ParityDsu {
         }
         // Union by rank; fix up the attached root's parity so that
         // parity(a) ^ parity(b) == rel holds afterwards.
-        let (big, small, p_big, p_small) = if self.rank[ra] >= self.rank[rb] {
-            (ra, rb, pa, pb)
-        } else {
-            (rb, ra, pb, pa)
-        };
+        let (big, small, p_big, p_small) =
+            if self.rank[ra] >= self.rank[rb] { (ra, rb, pa, pb) } else { (rb, ra, pb, pa) };
         self.parent[small] = big;
         self.parity[small] = p_big ^ p_small ^ rel;
         if self.rank[big] == self.rank[small] {

@@ -58,12 +58,7 @@ mod tests {
     use super::*;
 
     fn cut(graph: &WeightedGraph, side: &[u8]) -> u64 {
-        graph
-            .edges()
-            .iter()
-            .filter(|&&(a, b, _)| side[a] != side[b])
-            .map(|&(_, _, w)| w)
-            .sum()
+        graph.edges().iter().filter(|&&(a, b, _)| side[a] != side[b]).map(|&(_, _, w)| w).sum()
     }
 
     #[test]
@@ -98,7 +93,10 @@ mod tests {
 
     #[test]
     fn local_optimum_no_positive_flip() {
-        let g = WeightedGraph::from_edges(8, (0..8).flat_map(|a| ((a + 1)..8).map(move |b| (a, b, (a + b) as u64 % 3 + 1))));
+        let g = WeightedGraph::from_edges(
+            8,
+            (0..8).flat_map(|a| ((a + 1)..8).map(move |b| (a, b, (a + b) as u64 % 3 + 1))),
+        );
         let side = max_cut_one_exchange(&g, 9);
         for v in 0..8 {
             let mut gain = 0i64;

@@ -47,11 +47,7 @@ fn manhattan(cols: usize, a: usize, b: usize) -> u64 {
 }
 
 fn total_cost(graph: &WeightedGraph, cols: usize, slot_of: &[usize]) -> u64 {
-    graph
-        .edges()
-        .iter()
-        .map(|&(a, b, w)| w * manhattan(cols, slot_of[a], slot_of[b]))
-        .sum()
+    graph.edges().iter().map(|&(a, b, w)| w * manhattan(cols, slot_of[a], slot_of[b])).sum()
 }
 
 /// Places the vertices of `graph` onto a `rows × cols` tile array by
@@ -75,7 +71,13 @@ fn total_cost(graph: &WeightedGraph, cols: usize, slot_of: &[usize]) -> u64 {
 /// assert_eq!(p.cost(), 3);
 /// ```
 #[must_use]
-pub fn place(graph: &WeightedGraph, rows: usize, cols: usize, restarts: usize, seed: u64) -> Placement {
+pub fn place(
+    graph: &WeightedGraph,
+    rows: usize,
+    cols: usize,
+    restarts: usize,
+    seed: u64,
+) -> Placement {
     place_opts(graph, rows, cols, restarts, seed, true)
 }
 
@@ -99,7 +101,8 @@ pub fn place_opts(
     assert!(n <= rows * cols, "{n} qubits do not fit in {rows}×{cols} slots");
     let mut best: Option<Placement> = None;
     for r in 0..restarts.max(1) {
-        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng =
+            SmallRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9));
         let mut slot_of = vec![usize::MAX; n];
         let qubits: Vec<usize> = (0..n).collect();
         recurse(graph, &qubits, 0, rows, 0, cols, cols, &mut slot_of, &mut rng);
@@ -161,17 +164,18 @@ fn recurse(
     // Bisect the induced subgraph.
     let index_of: std::collections::HashMap<usize, usize> =
         qubits.iter().enumerate().map(|(i, &q)| (q, i)).collect();
-    let sub_edges = graph.edges().iter().filter_map(|&(a, b, w)| {
-        match (index_of.get(&a), index_of.get(&b)) {
+    let sub_edges =
+        graph.edges().iter().filter_map(|&(a, b, w)| match (index_of.get(&a), index_of.get(&b)) {
             (Some(&ia), Some(&ib)) => Some((ia, ib, w)),
             _ => None,
-        }
-    });
+        });
     let sub = WeightedGraph::from_edges(k, sub_edges);
     let side = bisect(&sub, ka, rng);
 
-    let left: Vec<usize> = qubits.iter().enumerate().filter(|&(i, _)| !side[i]).map(|(_, &q)| q).collect();
-    let right: Vec<usize> = qubits.iter().enumerate().filter(|&(i, _)| side[i]).map(|(_, &q)| q).collect();
+    let left: Vec<usize> =
+        qubits.iter().enumerate().filter(|&(i, _)| !side[i]).map(|(_, &q)| q).collect();
+    let right: Vec<usize> =
+        qubits.iter().enumerate().filter(|&(i, _)| side[i]).map(|(_, &q)| q).collect();
     let ((ar0, ar1, ac0, ac1), (br0, br1, bc0, bc1)) = regions;
     recurse(graph, &left, ar0, ar1, ac0, ac1, cols, slot_of, rng);
     recurse(graph, &right, br0, br1, bc0, bc1, cols, slot_of, rng);
@@ -196,7 +200,9 @@ fn refine(graph: &WeightedGraph, rows: usize, cols: usize, slot_of: &mut [usize]
                 continue;
             }
             let w = i64::try_from(w).unwrap_or(i64::MAX);
-            d += w * (manhattan(cols, to, slot_of[u]) as i64 - manhattan(cols, from, slot_of[u]) as i64);
+            d += w
+                * (manhattan(cols, to, slot_of[u]) as i64
+                    - manhattan(cols, from, slot_of[u]) as i64);
         }
         d
     };
@@ -282,7 +288,10 @@ mod tests {
 
     #[test]
     fn more_restarts_never_hurt() {
-        let g = WeightedGraph::from_edges(9, (0..9).flat_map(|a| ((a + 1)..9).map(move |b| (a, b, ((a * b) % 5 + 1) as u64))));
+        let g = WeightedGraph::from_edges(
+            9,
+            (0..9).flat_map(|a| ((a + 1)..9).map(move |b| (a, b, ((a * b) % 5 + 1) as u64))),
+        );
         let one = place(&g, 3, 3, 1, 17);
         let many = place(&g, 3, 3, 12, 17);
         assert!(many.cost() <= one.cost());

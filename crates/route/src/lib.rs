@@ -444,16 +444,8 @@ mod tests {
         // a 2×2 array's junction: a braid conflict, a legal EDP crossing.
         let r = router(2, 2, 1, Disjointness::Node);
         let g = r.grid();
-        let vertical = Path::from_cells(vec![
-            g.index(1, 2),
-            g.index(2, 2),
-            g.index(3, 2),
-        ]);
-        let horizontal = Path::from_cells(vec![
-            g.index(2, 1),
-            g.index(2, 2),
-            g.index(2, 3),
-        ]);
+        let vertical = Path::from_cells(vec![g.index(1, 2), g.index(2, 2), g.index(3, 2)]);
+        let horizontal = Path::from_cells(vec![g.index(2, 1), g.index(2, 2), g.index(2, 3)]);
         assert!(!Router::paths_conflict_free(
             g,
             Disjointness::Node,

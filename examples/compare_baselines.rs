@@ -16,8 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "circuit", "alpha", "AutoBraid", "Ecmas-dd", "EDPCI", "Ecmas-ls"
     );
     for name in names {
-        let circuit =
-            ecmas_circuit::benchmarks::by_name(name).expect("known benchmark name");
+        let circuit = ecmas_circuit::benchmarks::by_name(name).expect("known benchmark name");
         let n = circuit.qubits();
         let dd = Chip::min_viable(CodeModel::DoubleDefect, n, 3)?;
         let ls = Chip::min_viable(CodeModel::LatticeSurgery, n, 3)?;

@@ -51,12 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             EventKind::DirectSameCut { path } => {
                 format!("direct same-cut (path length {})", path.len())
             }
-            EventKind::LatticeCnot { path } => format!("lattice CNOT   (path length {})", path.len()),
+            EventKind::LatticeCnot { path } => {
+                format!("lattice CNOT   (path length {})", path.len())
+            }
             EventKind::CutModification { qubit } => format!("cut modification on qubit {qubit}"),
             other => format!("{other:?}"),
         };
         match event.gate {
-            Some(g) => println!("  cycle {:>3}..{:<3} gate {:>3}: {what}", event.start, event.end(), g),
+            Some(g) => {
+                println!("  cycle {:>3}..{:<3} gate {:>3}: {what}", event.start, event.end(), g)
+            }
             None => println!("  cycle {:>3}..{:<3}          {what}", event.start, event.end()),
         }
     }

@@ -1,1 +1,46 @@
-//! Root umbrella for examples/integration tests.
+//! **Ecmas** — the umbrella facade of the workspace.
+//!
+//! This crate re-exports the whole public surface of
+//! [`ecmas_core`] under the short name every consumer uses (`ecmas::…`),
+//! and owns the workspace-level artifacts: the `ecmasc` CLI
+//! (`src/bin/ecmasc.rs`), the runnable `examples/`, and the cross-crate
+//! integration tests in `tests/`.
+//!
+//! Start from [`Ecmas`] (the five-stage pipeline driver) and
+//! [`EcmasConfig`] (every ablation knob of the paper's Tables II–V), or
+//! from the repo-level `README.md` for the map of the seven implementation
+//! crates. The compiler pipeline itself — profiling, mapping, cut-type
+//! initialization, scheduling, validation — is documented in depth on
+//! [`ecmas_core`].
+//!
+//! # Example
+//!
+//! ```
+//! use ecmas::{validate_encoded, Ecmas};
+//! use ecmas_chip::{Chip, CodeModel};
+//! use ecmas_circuit::Circuit;
+//!
+//! let mut circuit = Circuit::new(4);
+//! circuit.cnot(0, 1);
+//! circuit.cnot(2, 3);
+//! circuit.cnot(1, 2);
+//!
+//! let chip = Chip::min_viable(CodeModel::LatticeSurgery, circuit.qubits(), 3)?;
+//! let encoded = Ecmas::default().compile(&circuit, &chip)?;
+//! validate_encoded(&circuit, &encoded)?;
+//! assert!(encoded.cycles() as usize >= circuit.depth());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ecmas_core::{
+    compiler, cut, encoded, engine, error, hardness, mapping, profile, resu, viz,
+};
+
+pub use ecmas_core::{
+    para_finding, schedule_limited, schedule_sufficient, validate_encoded, CompileError,
+    CutInitStrategy, CutPolicy, CutType, Ecmas, EcmasConfig, EncodedCircuit, Event, EventKind,
+    ExecutionScheme, GateOrder, LocationStrategy, ScheduleConfig, ValidateError,
+};

@@ -10,10 +10,7 @@ use ecmas_circuit::benchmarks;
 /// The mid-sized circuits used across these tests (the two 14k-gate rows
 /// are exercised by the bench harness instead).
 fn suite() -> Vec<ecmas_circuit::Circuit> {
-    benchmarks::table1_suite()
-        .into_iter()
-        .filter(|c| c.cnot_count() <= 1000)
-        .collect()
+    benchmarks::table1_suite().into_iter().filter(|c| c.cnot_count() <= 1000).collect()
 }
 
 #[test]
@@ -28,8 +25,7 @@ fn every_compiler_produces_valid_schedules_on_the_suite() {
             Edpci::new().compile(&circuit, &ls).unwrap(),
             Ecmas::default().compile(&circuit, &ls).unwrap(),
         ] {
-            validate_encoded(&circuit, &enc)
-                .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
+            validate_encoded(&circuit, &enc).unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
             assert!(
                 enc.cycles() as usize >= circuit.depth(),
                 "{}: Δ below the depth lower bound",
@@ -85,8 +81,7 @@ fn lattice_surgery_resu_is_depth_optimal_on_the_suite() {
     for circuit in suite() {
         let scheme = para_finding(&circuit.dag());
         let chip =
-            Chip::sufficient(CodeModel::LatticeSurgery, circuit.qubits(), scheme.gpm(), 3)
-                .unwrap();
+            Chip::sufficient(CodeModel::LatticeSurgery, circuit.qubits(), scheme.gpm(), 3).unwrap();
         let enc = Ecmas::default().compile_resu(&circuit, &chip).unwrap();
         validate_encoded(&circuit, &enc).unwrap();
         assert_eq!(

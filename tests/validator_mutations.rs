@@ -48,10 +48,7 @@ fn dropping_a_gate_is_caught() {
     let victim = events.iter().position(|e| e.gate.is_some()).unwrap();
     events.remove(victim);
     let bad = rebuild(&enc, None, None, events);
-    assert!(matches!(
-        validate_encoded(&circuit, &bad),
-        Err(ValidateError::GateCoverage { .. })
-    ));
+    assert!(matches!(validate_encoded(&circuit, &bad), Err(ValidateError::GateCoverage { .. })));
 }
 
 #[test]
@@ -96,10 +93,7 @@ fn equal_cut_braid_is_caught() {
     let has_braid = enc.events().iter().any(|e| matches!(e.kind, EventKind::Braid { .. }));
     assert!(has_braid, "baseline should braid");
     let bad = rebuild(&enc, None, Some(Some(vec![CutType::X; 4])), enc.events().to_vec());
-    assert!(matches!(
-        validate_encoded(&circuit, &bad),
-        Err(ValidateError::CutTypeRule { .. })
-    ));
+    assert!(matches!(validate_encoded(&circuit, &bad), Err(ValidateError::CutTypeRule { .. })));
 }
 
 #[test]
@@ -114,10 +108,7 @@ fn teleporting_path_is_caught() {
     let to = grid.tile_cell(enc.mapping()[gate.target]);
     e.kind = EventKind::LatticeCnot { path: Path::from_cells(vec![from, to]) };
     let bad = rebuild(&enc, None, None, events);
-    assert!(matches!(
-        validate_encoded(&circuit, &bad),
-        Err(ValidateError::MalformedPath { .. })
-    ));
+    assert!(matches!(validate_encoded(&circuit, &bad), Err(ValidateError::MalformedPath { .. })));
 }
 
 #[test]
@@ -125,18 +116,12 @@ fn wrong_endpoints_are_caught() {
     let (circuit, enc) = compile(CodeModel::LatticeSurgery);
     let mut events = enc.events().to_vec();
     // Give gate 0 the path of gate 1 (wrong tiles).
-    let donor = events
-        .iter()
-        .find(|e| e.gate == Some(1))
-        .and_then(|e| e.kind.path().cloned())
-        .unwrap();
+    let donor =
+        events.iter().find(|e| e.gate == Some(1)).and_then(|e| e.kind.path().cloned()).unwrap();
     let e = events.iter_mut().find(|e| e.gate == Some(0)).unwrap();
     e.kind = EventKind::LatticeCnot { path: donor };
     let bad = rebuild(&enc, None, None, events);
-    assert!(matches!(
-        validate_encoded(&circuit, &bad),
-        Err(ValidateError::MalformedPath { .. })
-    ));
+    assert!(matches!(validate_encoded(&circuit, &bad), Err(ValidateError::MalformedPath { .. })));
 }
 
 #[test]
@@ -172,10 +157,7 @@ fn path_through_mapped_tile_is_caught() {
     let e = events.iter_mut().find(|e| e.gate == Some(2)).unwrap();
     e.kind = EventKind::LatticeCnot { path: Path::from_cells(cells) };
     let bad = rebuild(&enc, None, None, events);
-    assert!(matches!(
-        validate_encoded(&circuit, &bad),
-        Err(ValidateError::MalformedPath { .. })
-    ));
+    assert!(matches!(validate_encoded(&circuit, &bad), Err(ValidateError::MalformedPath { .. })));
 }
 
 #[test]

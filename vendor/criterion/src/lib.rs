@@ -1,0 +1,216 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://docs.rs/criterion/0.5) benchmark harness,
+//! vendored so `cargo bench` works without network access.
+//!
+//! Benchmarks registered through [`criterion_group!`]/[`criterion_main!`]
+//! run a short calibration pass, then time a batch sized to roughly
+//! [`Criterion::measurement_time_ms`] and print `name  time/iter  iters`.
+//! There is no statistical analysis, outlier detection, or HTML report —
+//! the numbers are honest wall-clock means, good enough for the "does
+//! compile time scale linearly with chip area" question the workspace's
+//! benches ask. Swap for the real crate by changing one line in the root
+//! `Cargo.toml` once a registry is reachable — no call sites change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last: Option<Measurement>,
+    measurement_time: Duration,
+}
+
+/// One benchmark's result.
+#[derive(Clone, Copy, Debug)]
+struct Measurement {
+    nanos_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calibrates, then times `routine` over a batch and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: estimate per-iteration cost. A routine slower than
+        // the calibration budget stops after one iteration so the
+        // measurement-time budget stays meaningful for slow benches.
+        let calib_budget = Duration::from_millis(5).min(self.measurement_time);
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        loop {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_start.elapsed() >= calib_budget || calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let target = self.measurement_time.as_secs_f64();
+        let iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.last =
+            Some(Measurement { nanos_per_iter: elapsed.as_nanos() as f64 / iters as f64, iters });
+    }
+}
+
+fn human_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:8.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:8.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:8.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, measurement_time: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { last: None, measurement_time };
+    f(&mut bencher);
+    match bencher.last {
+        Some(m) => println!("{id:<48} {} /iter  ({} iters)", human_time(m.nanos_per_iter), m.iters),
+        None => println!("{id:<48} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(Criterion::measurement_time_ms()) }
+    }
+}
+
+impl Criterion {
+    /// Target wall-clock time of one measurement batch, in milliseconds.
+    /// (`CRITERION_MEASUREMENT_MS` overrides the 60 ms default.)
+    #[must_use]
+    pub fn measurement_time_ms() -> u64 {
+        std::env::var("CRITERION_MEASUREMENT_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(60)
+    }
+
+    /// Benchmarks a single routine under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), measurement_time: self.measurement_time, _parent: self }
+    }
+}
+
+/// A `function_name/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim sizes batches by time, not
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` on `input` under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(&full, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_prints() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(2) };
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(2u64 + 2)
+            });
+        });
+        assert!(ran >= 20, "calibration + batch should run the routine: {ran}");
+    }
+
+    #[test]
+    fn group_with_input_passes_input() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(2) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3u32), &41u64, |b, &x| {
+            b.iter(|| black_box(x + 1));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+}

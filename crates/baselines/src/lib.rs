@@ -18,7 +18,10 @@
 //!
 //! Both reuse the workspace's scheduling engine and routing substrate, so
 //! their outputs pass the same independent [`validate_encoded`] checker as
-//! Ecmas itself.
+//! Ecmas itself — and both implement the workspace-wide
+//! [`ecmas::Compiler`] trait, so harnesses (and
+//! [`ecmas::compile_batch`]) drive all three compilers through one
+//! interface.
 //!
 //! [`validate_encoded`]: ecmas::encoded::validate_encoded
 //!
@@ -40,13 +43,49 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Instant;
+
 use ecmas::cut::CutType;
 use ecmas::encoded::EncodedCircuit;
-use ecmas::engine::{schedule_limited, CutPolicy, GateOrder, ScheduleConfig};
+use ecmas::engine::{schedule_limited_with_stats, CutPolicy, GateOrder, ScheduleConfig};
 use ecmas::error::CompileError;
 use ecmas::mapping::snake_mapping;
+use ecmas::session::{Algorithm, BandwidthDecision, CompileReport, RouterStats, StageTimings};
+use ecmas::{CompileOutcome, Compiler};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::Circuit;
+
+/// Assembles the baseline [`CompileReport`]: baselines run no profiling
+/// and no bandwidth adjusting, so `gpm`/`placement_restarts` are 0 and the
+/// adjust decision is [`BandwidthDecision::Disabled`]; the router counters
+/// and stage timings are real. `capacity` is the *target* chip's
+/// communication capacity (not the internal clamped/dense view's), so
+/// reports stay comparable across compilers on the same hardware.
+fn baseline_outcome(
+    encoded: EncodedCircuit,
+    stats: RouterStats,
+    capacity: usize,
+    map_time: std::time::Duration,
+    schedule_time: std::time::Duration,
+) -> CompileOutcome {
+    let report = CompileReport {
+        algorithm: Algorithm::Limited,
+        timings: StageTimings {
+            profile: std::time::Duration::ZERO,
+            map: map_time,
+            schedule: schedule_time,
+        },
+        gpm: 0,
+        capacity,
+        placement_restarts: 0,
+        bandwidth_adjust: BandwidthDecision::Disabled,
+        router: stats,
+        cycles: encoded.cycles(),
+        events: encoded.events().len(),
+        cut_modifications: encoded.modification_count(),
+    };
+    CompileOutcome { encoded, report }
+}
 
 /// The AutoBraid baseline compiler (double defect).
 ///
@@ -70,10 +109,25 @@ impl AutoBraid {
     /// Returns [`CompileError::TooManyQubits`] when the circuit does not
     /// fit, or an internal scheduling error.
     pub fn compile(&self, circuit: &Circuit, chip: &Chip) -> Result<EncodedCircuit, CompileError> {
+        Ok(self.compile_outcome(circuit, chip)?.encoded)
+    }
+}
+
+impl Compiler for AutoBraid {
+    fn name(&self) -> &'static str {
+        "autobraid"
+    }
+
+    fn compile_outcome(
+        &self,
+        circuit: &Circuit,
+        chip: &Chip,
+    ) -> Result<CompileOutcome, CompileError> {
         let n = circuit.qubits();
         if n > chip.tile_slots() {
             return Err(CompileError::TooManyQubits { qubits: n, slots: chip.tile_slots() });
         }
+        let t_map = Instant::now();
         // Whole-channel occupation: operate on a bandwidth-1 view of the
         // chip regardless of its real channel widths.
         let clamped = Chip::uniform(
@@ -85,13 +139,17 @@ impl AutoBraid {
         )?;
         let mapping = snake_mapping(n, clamped.tile_rows(), clamped.tile_cols());
         let cuts = vec![CutType::X; n];
-        schedule_limited(
+        let map_time = t_map.elapsed();
+        let t_schedule = Instant::now();
+        let (encoded, stats) = schedule_limited_with_stats(
             &circuit.dag(),
             &clamped,
             &mapping,
             Some(&cuts),
             ScheduleConfig { order: GateOrder::Priority, cut_policy: CutPolicy::NeverModify },
-        )
+        )?;
+        let capacity = chip.communication_capacity();
+        Ok(baseline_outcome(encoded, stats, capacity, map_time, t_schedule.elapsed()))
     }
 }
 
@@ -125,19 +183,7 @@ impl Edpci {
     /// Returns [`CompileError::TooManyQubits`] when the circuit does not
     /// fit, or an internal scheduling error.
     pub fn compile(&self, circuit: &Circuit, chip: &Chip) -> Result<EncodedCircuit, CompileError> {
-        let n = circuit.qubits();
-        if n > chip.tile_slots() {
-            return Err(CompileError::TooManyQubits { qubits: n, slots: chip.tile_slots() });
-        }
-        let dense = Self::dense_view(chip)?;
-        let mapping = snake_mapping(n, dense.tile_rows(), dense.tile_cols());
-        schedule_limited(
-            &circuit.dag(),
-            &dense,
-            &mapping,
-            None,
-            ScheduleConfig { order: GateOrder::Priority, cut_policy: CutPolicy::NeverModify },
-        )
+        Ok(self.compile_outcome(circuit, chip)?.encoded)
     }
 
     /// Converts a chip into the equivalent-area array of tiles with
@@ -157,6 +203,37 @@ impl Edpci {
             1,
             chip.code_distance(),
         )?)
+    }
+}
+
+impl Compiler for Edpci {
+    fn name(&self) -> &'static str {
+        "edpci"
+    }
+
+    fn compile_outcome(
+        &self,
+        circuit: &Circuit,
+        chip: &Chip,
+    ) -> Result<CompileOutcome, CompileError> {
+        let n = circuit.qubits();
+        if n > chip.tile_slots() {
+            return Err(CompileError::TooManyQubits { qubits: n, slots: chip.tile_slots() });
+        }
+        let t_map = Instant::now();
+        let dense = Self::dense_view(chip)?;
+        let mapping = snake_mapping(n, dense.tile_rows(), dense.tile_cols());
+        let map_time = t_map.elapsed();
+        let t_schedule = Instant::now();
+        let (encoded, stats) = schedule_limited_with_stats(
+            &circuit.dag(),
+            &dense,
+            &mapping,
+            None,
+            ScheduleConfig { order: GateOrder::Priority, cut_policy: CutPolicy::NeverModify },
+        )?;
+        let capacity = chip.communication_capacity();
+        Ok(baseline_outcome(encoded, stats, capacity, map_time, t_schedule.elapsed()))
     }
 }
 
@@ -223,6 +300,24 @@ mod tests {
             validate_encoded(&c, &enc).unwrap();
             assert!(enc.cycles() as usize >= c.depth());
         }
+    }
+
+    #[test]
+    fn trait_outcomes_match_inherent_compiles_and_carry_stats() {
+        let c = benchmarks::qft(8);
+        let dd = Chip::min_viable(CodeModel::DoubleDefect, 8, 3).unwrap();
+        let ls = Chip::min_viable(CodeModel::LatticeSurgery, 8, 3).unwrap();
+        let compilers: [(&dyn Compiler, &Chip); 2] =
+            [(&AutoBraid::new(), &dd), (&Edpci::new(), &ls)];
+        for (compiler, chip) in compilers {
+            let outcome = compiler.compile_outcome(&c, chip).unwrap();
+            validate_encoded(&c, &outcome.encoded).unwrap();
+            assert_eq!(outcome.report.cycles, outcome.encoded.cycles());
+            assert!(outcome.report.router.paths_found > 0, "{}", compiler.name());
+            assert_eq!(outcome.report.gpm, 0, "baselines do not profile");
+        }
+        assert_eq!(AutoBraid::new().name(), "autobraid");
+        assert_eq!(Edpci::new().name(), "edpci");
     }
 
     #[test]

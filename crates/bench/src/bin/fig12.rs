@@ -2,7 +2,9 @@
 //! ratio vs the minimum viable chip (bottom) as the chip grows from
 //! bandwidth 1 to 5, for parallelism 11 and 21, in both models. The
 //! x-axis is physical qubits per d², matching the paper's values
-//! (3025..18225 double defect, 450..4418 lattice surgery).
+//! (3025..18225 double defect, 450..4418 lattice surgery). Sample groups
+//! compile in parallel via `ecmas::compile_batch`; per-circuit compile
+//! seconds come from each run's own `CompileReport` stage timings.
 
 use ecmas_bench::{fig12_point, sample_count};
 use ecmas_chip::CodeModel;

@@ -18,16 +18,21 @@
 //! | `fig11` | Fig. 11 — cycles vs Circuit Parallelism Degree |
 //! | `fig12` | Fig. 12 — cycles & compile-time ratio vs chip size |
 //!
+//! Every compiler is driven through the workspace-wide [`Compiler`]
+//! trait, and the random-circuit experiments (`fig11`/`fig12`) fan their
+//! independent sample compilations across cores with [`compile_batch`] —
+//! results are bit-identical to a sequential loop (every compiler is
+//! deterministic), only the wall clock changes.
+//!
 //! The criterion benches (`cargo bench`) measure compile-time scaling —
 //! the paper's efficiency claim — on the same workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::time::Instant;
-
 use ecmas::{
-    validate_encoded, CutInitStrategy, CutPolicy, Ecmas, EcmasConfig, GateOrder, LocationStrategy,
+    compile_batch, validate_encoded, CompileOutcome, Compiler, CutInitStrategy, CutPolicy, Ecmas,
+    EcmasConfig, GateOrder, LocationStrategy,
 };
 use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};
@@ -55,21 +60,62 @@ pub fn sample_count() -> usize {
     std::env::var("ECMAS_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(50)
 }
 
-/// Compiles with Ecmas (paper defaults) and cross-checks the schedule with
-/// the independent validator.
+/// Compiles through the workspace-wide [`Compiler`] trait — one code path
+/// for Ecmas and both baselines — and cross-checks the schedule with the
+/// independent validator.
 ///
 /// # Panics
 ///
 /// Panics if compilation fails or the schedule is invalid — the harness
 /// treats both as experiment-infrastructure bugs.
 #[must_use]
+pub fn run_compiler(compiler: &dyn Compiler, circuit: &Circuit, chip: &Chip) -> CompileOutcome {
+    let outcome = compiler
+        .compile_outcome(circuit, chip)
+        .unwrap_or_else(|e| panic!("{}: {} compile failed: {e}", circuit.name(), compiler.name()));
+    validate_encoded(circuit, &outcome.encoded).unwrap_or_else(|e| {
+        panic!("{}: invalid {} schedule: {e}", circuit.name(), compiler.name())
+    });
+    outcome
+}
+
+/// Fans a circuit group through [`compile_batch`] (scoped threads, one
+/// worker per core), validates every schedule, and returns the summed
+/// cycles and summed per-circuit compile seconds (measured inside each
+/// compilation by its report, so the numbers are comparable whether the
+/// batch ran on one core or many).
+///
+/// # Panics
+///
+/// As [`run_compiler`].
+#[must_use]
+pub fn run_batch<C: Compiler + Sync + ?Sized>(
+    compiler: &C,
+    group: &[Circuit],
+    chip: &Chip,
+) -> (u64, f64) {
+    let mut cycles = 0u64;
+    let mut secs = 0.0f64;
+    for (circuit, outcome) in group.iter().zip(compile_batch(compiler, group, chip)) {
+        let outcome =
+            outcome.unwrap_or_else(|e| panic!("{}: batch compile failed: {e}", circuit.name()));
+        validate_encoded(circuit, &outcome.encoded)
+            .unwrap_or_else(|e| panic!("{}: invalid batch schedule: {e}", circuit.name()));
+        cycles += outcome.encoded.cycles();
+        secs += outcome.report.timings.total().as_secs_f64();
+    }
+    (cycles, secs)
+}
+
+/// Compiles with Ecmas (paper defaults) and cross-checks the schedule with
+/// the independent validator.
+///
+/// # Panics
+///
+/// As [`run_compiler`].
+#[must_use]
 pub fn run_ecmas(circuit: &Circuit, chip: &Chip, config: EcmasConfig) -> u64 {
-    let enc = Ecmas::new(config)
-        .compile(circuit, chip)
-        .unwrap_or_else(|e| panic!("{}: ecmas compile failed: {e}", circuit.name()));
-    validate_encoded(circuit, &enc)
-        .unwrap_or_else(|e| panic!("{}: invalid ecmas schedule: {e}", circuit.name()));
-    enc.cycles()
+    run_compiler(&Ecmas::new(config), circuit, chip).encoded.cycles()
 }
 
 /// Compiles with Ecmas-ReSu on a sufficient-resources chip.
@@ -94,30 +140,20 @@ pub fn run_ecmas_resu(circuit: &Circuit, model: CodeModel) -> u64 {
 ///
 /// # Panics
 ///
-/// As [`run_ecmas`].
+/// As [`run_compiler`].
 #[must_use]
 pub fn run_autobraid(circuit: &Circuit, chip: &Chip) -> u64 {
-    let enc = AutoBraid::new()
-        .compile(circuit, chip)
-        .unwrap_or_else(|e| panic!("{}: autobraid compile failed: {e}", circuit.name()));
-    validate_encoded(circuit, &enc)
-        .unwrap_or_else(|e| panic!("{}: invalid autobraid schedule: {e}", circuit.name()));
-    enc.cycles()
+    run_compiler(&AutoBraid::new(), circuit, chip).encoded.cycles()
 }
 
 /// Compiles with the EDPCI baseline (validated).
 ///
 /// # Panics
 ///
-/// As [`run_ecmas`].
+/// As [`run_compiler`].
 #[must_use]
 pub fn run_edpci(circuit: &Circuit, chip: &Chip) -> u64 {
-    let enc = Edpci::new()
-        .compile(circuit, chip)
-        .unwrap_or_else(|e| panic!("{}: edpci compile failed: {e}", circuit.name()));
-    validate_encoded(circuit, &enc)
-        .unwrap_or_else(|e| panic!("{}: invalid edpci schedule: {e}", circuit.name()));
-    enc.cycles()
+    run_compiler(&Edpci::new(), circuit, chip).encoded.cycles()
 }
 
 /// Table I: the full overview comparison for one circuit.
@@ -227,27 +263,33 @@ pub fn table5_row(circuit: &Circuit) -> Row {
     }
 }
 
+/// The model's paper baseline as a trait object (AutoBraid for double
+/// defect, EDPCI for lattice surgery).
+#[must_use]
+pub fn baseline_for(model: CodeModel) -> Box<dyn Compiler + Sync> {
+    match model {
+        CodeModel::DoubleDefect => Box::new(AutoBraid::new()),
+        CodeModel::LatticeSurgery => Box::new(Edpci::new()),
+    }
+}
+
 /// Fig. 11 point: mean cycles over a test group of random circuits at one
 /// parallelism degree, for baseline and Ecmas, on the given model's minimum
-/// viable chip.
+/// viable chip. The group's independent compilations fan out across cores
+/// via [`compile_batch`].
 #[must_use]
 pub fn fig11_point(model: CodeModel, parallelism: usize, samples: usize) -> (f64, f64) {
     let group = ecmas_circuit::random::test_group(49, 50, parallelism, samples, 0x000F_1611);
     let chip = Chip::min_viable(model, 49, 3).expect("chip");
-    let mut base_sum = 0u64;
-    let mut ours_sum = 0u64;
-    for c in &group {
-        match model {
-            CodeModel::DoubleDefect => base_sum += run_autobraid(c, &chip),
-            CodeModel::LatticeSurgery => base_sum += run_edpci(c, &chip),
-        }
-        ours_sum += run_ecmas(c, &chip, EcmasConfig::default());
-    }
+    let (base_sum, _) = run_batch(&*baseline_for(model), &group, &chip);
+    let (ours_sum, _) = run_batch(&Ecmas::default(), &group, &chip);
     (base_sum as f64 / group.len() as f64, ours_sum as f64 / group.len() as f64)
 }
 
 /// Fig. 12 point: mean cycles and mean compile seconds at one `(model,
 /// parallelism, bandwidth)` cell, for the model's baseline and Ecmas.
+/// Compilations fan out across cores; compile seconds come from each
+/// run's own [`CompileReport`](ecmas::CompileReport) stage timings.
 #[must_use]
 pub fn fig12_point(
     model: CodeModel,
@@ -257,21 +299,8 @@ pub fn fig12_point(
 ) -> Fig12Point {
     let group = ecmas_circuit::random::test_group(49, 50, parallelism, samples, 0x000F_1612);
     let chip = Chip::uniform(model, 7, 7, bandwidth, 3).expect("chip");
-    let mut base_cycles = 0u64;
-    let mut ours_cycles = 0u64;
-    let mut base_secs = 0.0f64;
-    let mut ours_secs = 0.0f64;
-    for c in &group {
-        let t = Instant::now();
-        base_cycles += match model {
-            CodeModel::DoubleDefect => run_autobraid(c, &chip),
-            CodeModel::LatticeSurgery => run_edpci(c, &chip),
-        };
-        base_secs += t.elapsed().as_secs_f64();
-        let t = Instant::now();
-        ours_cycles += run_ecmas(c, &chip, EcmasConfig::default());
-        ours_secs += t.elapsed().as_secs_f64();
-    }
+    let (base_cycles, base_secs) = run_batch(&*baseline_for(model), &group, &chip);
+    let (ours_cycles, ours_secs) = run_batch(&Ecmas::default(), &group, &chip);
     let k = group.len() as f64;
     Fig12Point {
         qubits_per_d2: chip.physical_qubits_per_d2(),
@@ -370,6 +399,19 @@ mod tests {
         assert_eq!(ours, row.alpha as u64);
         assert!(row.cells[0].1 >= ours);
         assert!(row.cells[1].1 >= ours);
+    }
+
+    #[test]
+    fn run_batch_sums_match_sequential_runs() {
+        let group = ecmas_circuit::random::test_group(10, 6, 2, 3, 42);
+        let chip = Chip::min_viable(CodeModel::LatticeSurgery, 10, 3).unwrap();
+        let (batch_cycles, batch_secs) = run_batch(&Ecmas::default(), &group, &chip);
+        let sequential: u64 =
+            group.iter().map(|c| run_ecmas(c, &chip, EcmasConfig::default())).sum();
+        assert_eq!(batch_cycles, sequential, "batch must be bit-identical to sequential");
+        assert!(batch_secs > 0.0);
+        assert_eq!(baseline_for(CodeModel::DoubleDefect).name(), "autobraid");
+        assert_eq!(baseline_for(CodeModel::LatticeSurgery).name(), "edpci");
     }
 
     #[test]

@@ -120,6 +120,27 @@ impl Chip {
         Chip::uniform(model, side, side, 2, code_distance)
     }
 
+    /// A deliberately *congested* limited-resources configuration: the
+    /// tile array is twice the minimum-viable side (`2·⌈√n⌉` per side)
+    /// while every channel stays at the bandwidth-1 floor. Spreading
+    /// mappings (like the trivial snake) put communicating qubits far
+    /// apart, long paths fight over single-lane channels, and routing
+    /// pressure — not tile scarcity — dominates. This is the chip the
+    /// Table II / Table IV ablations need to discriminate: on
+    /// [`min_viable`](Self::min_viable) chips every ablation circuit
+    /// schedules at the depth bound and the knobs measure nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `d == 0`.
+    pub fn congested(model: CodeModel, n: usize, code_distance: u32) -> Result<Self, ChipError> {
+        if n == 0 {
+            return Err(ChipError::EmptyTileArray);
+        }
+        let side = 2 * int_sqrt_ceil(n);
+        Chip::uniform(model, side, side, 1, code_distance)
+    }
+
     /// The *sufficient resources* configuration used by Ecmas-ReSu: the
     /// smallest uniform bandwidth whose Chip Communication Capacity
     /// `⌊(b−1)/2⌋ + 3` (Theorem 2) reaches the circuit's parallelism
@@ -332,6 +353,14 @@ mod tests {
         assert_eq!((chip.tile_rows(), chip.tile_cols()), (3, 3));
         let chip = Chip::min_viable(CodeModel::DoubleDefect, 50, 3).unwrap();
         assert_eq!((chip.tile_rows(), chip.tile_cols()), (8, 8));
+    }
+
+    #[test]
+    fn congested_doubles_the_side_at_bandwidth_one() {
+        let chip = Chip::congested(CodeModel::LatticeSurgery, 10, 3).unwrap();
+        assert_eq!((chip.tile_rows(), chip.tile_cols()), (8, 8));
+        assert_eq!(chip.bandwidth(), 1);
+        assert_eq!(Chip::congested(CodeModel::DoubleDefect, 0, 3), Err(ChipError::EmptyTileArray));
     }
 
     #[test]

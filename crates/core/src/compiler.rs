@@ -1,15 +1,14 @@
 //! The Ecmas compiler facade: pre-processing + transforming (Fig. 9).
 
-use ecmas_chip::{Chip, CodeModel};
+use ecmas_chip::Chip;
 use ecmas_circuit::Circuit;
 
-use crate::cut::{initialize_cuts, CutInitStrategy};
+use crate::cut::CutInitStrategy;
 use crate::encoded::EncodedCircuit;
-use crate::engine::{schedule_limited, CutPolicy, GateOrder, ScheduleConfig};
+use crate::engine::{CutPolicy, GateOrder};
 use crate::error::CompileError;
-use crate::mapping::{adjust_bandwidth, initial_mapping, LocationStrategy};
-use crate::profile::para_finding;
-use crate::resu::schedule_sufficient;
+use crate::mapping::LocationStrategy;
+use crate::session::{CompileOutcome, Profiled};
 
 /// Compiler configuration: every knob the paper ablates, with the paper's
 /// choices as [`Default`].
@@ -55,9 +54,15 @@ impl Default for EcmasConfig {
 
 /// The resource-adaptive mapping-and-scheduling compiler (§IV).
 ///
-/// `compile` runs the limited-resources pipeline (Algorithm 1);
-/// [`compile_resu`](Self::compile_resu) runs Ecmas-ReSu (Algorithm 2) and
-/// expects a sufficient-resources chip (see [`Chip::sufficient`]).
+/// [`session`](Self::session) starts the staged pipeline (profile → map →
+/// schedule, with per-stage artifacts and overrides — see
+/// [`crate::session`]). The one-shot entry points are thin wrappers over
+/// it: [`compile`](Self::compile) runs the limited-resources pipeline
+/// (Algorithm 1), [`compile_resu`](Self::compile_resu) runs Ecmas-ReSu
+/// (Algorithm 2) and expects a sufficient-resources chip (see
+/// [`Chip::sufficient`]), and [`compile_auto`](Self::compile_auto) makes
+/// the paper's limited-vs-ReSu choice from the chip's communication
+/// capacity and returns the outcome with its structured report.
 #[derive(Clone, Debug, Default)]
 pub struct Ecmas {
     config: EcmasConfig,
@@ -76,43 +81,39 @@ impl Ecmas {
         &self.config
     }
 
+    /// Starts a staged compilation session: profiling runs immediately and
+    /// the returned [`Profiled`] stage exposes the execution scheme and
+    /// accepts overrides before mapping and scheduling (see
+    /// [`crate::session`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::TooManyQubits`] if the circuit does not fit
+    /// the chip.
+    pub fn session<'c>(
+        &self,
+        circuit: &'c Circuit,
+        chip: &Chip,
+    ) -> Result<Profiled<'c>, CompileError> {
+        Profiled::start(self.config, circuit, chip)
+    }
+
     /// Full pipeline for limited resources: profile, map, adjust
-    /// bandwidth, initialize cut types, schedule with Algorithm 1.
+    /// bandwidth, initialize cut types, schedule with Algorithm 1. A thin
+    /// wrapper over [`session`](Self::session) that discards the report.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError::TooManyQubits`] if the circuit does not fit
     /// the chip, or a scheduling error on internal model violations.
     pub fn compile(&self, circuit: &Circuit, chip: &Chip) -> Result<EncodedCircuit, CompileError> {
-        let dag = circuit.dag();
-        let comm = circuit.comm_graph();
-        let mapping = initial_mapping(&comm, chip, self.config.location)?;
-        let cuts = match chip.model() {
-            CodeModel::DoubleDefect => Some(initialize_cuts(&dag, &comm, self.config.cut_init)),
-            CodeModel::LatticeSurgery => None,
-        };
-        let schedule_config =
-            ScheduleConfig { order: self.config.order, cut_policy: self.config.cut_policy };
-        let base = schedule_limited(&dag, chip, &mapping, cuts.as_deref(), schedule_config)?;
-        if !self.config.adjust_bandwidth {
-            return Ok(base);
-        }
-        // Bandwidth adjusting is a candidate, not a commitment: stealing a
-        // lane from a lightly-used channel can cost node-disjoint detours
-        // more than the hot channel gains, so the cheaper schedule wins
-        // (the paper's select-best-candidate spirit, Fig. 10c).
-        let adjusted_chip = adjust_bandwidth(chip, &mapping, &comm);
-        if adjusted_chip == *chip {
-            return Ok(base);
-        }
-        let adjusted =
-            schedule_limited(&dag, &adjusted_chip, &mapping, cuts.as_deref(), schedule_config)?;
-        Ok(if adjusted.cycles() < base.cycles() { adjusted } else { base })
+        Ok(self.session(circuit, chip)?.map()?.schedule()?.into_outcome().encoded)
     }
 
     /// Ecmas-ReSu: Para-Finding layering plus Algorithm 2 batching.
     /// Intended for chips built with [`Chip::sufficient`]; on smaller chips
     /// congested layers spill into extra cycles but the result stays valid.
+    /// A thin wrapper over [`session`](Self::session).
     ///
     /// # Errors
     ///
@@ -122,16 +123,26 @@ impl Ecmas {
         circuit: &Circuit,
         chip: &Chip,
     ) -> Result<EncodedCircuit, CompileError> {
-        let dag = circuit.dag();
-        let comm = circuit.comm_graph();
-        let scheme = para_finding(&dag);
-        let mapping = initial_mapping(&comm, chip, self.config.location)?;
-        let chip = if self.config.adjust_bandwidth {
-            adjust_bandwidth(chip, &mapping, &comm)
-        } else {
-            chip.clone()
-        };
-        schedule_sufficient(&dag, &scheme, &chip, &mapping)
+        Ok(self.session(circuit, chip)?.map()?.schedule_resu()?.into_outcome().encoded)
+    }
+
+    /// The paper's resource-adaptive entry point (Fig. 9): compares the
+    /// chip's communication capacity against the profiled `ĝPM` and runs
+    /// Ecmas-ReSu when resources are sufficient, Algorithm 1 otherwise.
+    /// Returns the encoded circuit together with its [`CompileReport`]
+    /// (which records the choice).
+    ///
+    /// [`CompileReport`]: crate::session::CompileReport
+    ///
+    /// # Errors
+    ///
+    /// As [`compile`](Self::compile).
+    pub fn compile_auto(
+        &self,
+        circuit: &Circuit,
+        chip: &Chip,
+    ) -> Result<CompileOutcome, CompileError> {
+        Ok(self.session(circuit, chip)?.map()?.schedule_auto()?.into_outcome())
     }
 }
 
@@ -139,6 +150,7 @@ impl Ecmas {
 mod tests {
     use super::*;
     use crate::encoded::validate_encoded;
+    use ecmas_chip::CodeModel;
     use ecmas_circuit::benchmarks;
 
     #[test]

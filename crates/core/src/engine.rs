@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::{GateDag, GateId};
-use ecmas_route::{Disjointness, Router};
+use ecmas_route::{Disjointness, Router, RouterStats};
 
 use crate::cut::CutType;
 use crate::encoded::{EncodedCircuit, Event, EventKind};
@@ -21,6 +21,7 @@ use crate::error::CompileError;
 
 /// Gate ordering within a cycle (Table IV ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GateOrder {
     /// Criticality first (longest remaining chain), then descendant count,
     /// then program order — the paper's priority function.
@@ -86,7 +87,6 @@ const MODIFY_LATENCY: u64 = 3;
 ///   wrong model.
 /// * [`CompileError::ScheduleStuck`] if the scheduler stops making progress
 ///   (defensive; indicates a model bug, not a user error).
-#[allow(clippy::too_many_lines)]
 pub fn schedule_limited(
     dag: &GateDag,
     chip: &Chip,
@@ -94,6 +94,23 @@ pub fn schedule_limited(
     initial_cuts: Option<&[CutType]>,
     config: ScheduleConfig,
 ) -> Result<EncodedCircuit, CompileError> {
+    schedule_limited_with_stats(dag, chip, mapping, initial_cuts, config).map(|(enc, _)| enc)
+}
+
+/// [`schedule_limited`] plus the router's effort/conflict counters — the
+/// instrumented entry point the session pipeline's `CompileReport` uses.
+///
+/// # Errors
+///
+/// As [`schedule_limited`].
+#[allow(clippy::too_many_lines)]
+pub fn schedule_limited_with_stats(
+    dag: &GateDag,
+    chip: &Chip,
+    mapping: &[usize],
+    initial_cuts: Option<&[CutType]>,
+    config: ScheduleConfig,
+) -> Result<(EncodedCircuit, RouterStats), CompileError> {
     let n = dag.qubits();
     let model = chip.model();
     match (model, initial_cuts) {
@@ -178,7 +195,6 @@ pub fn schedule_limited(
             GateOrder::CircuitOrder => active.sort_unstable(),
         }
 
-        let ready_count = active.len();
         let mut scheduled: Vec<usize> = Vec::new(); // indices into `active`
         for (idx, &g) in active.iter().enumerate() {
             let gate = dag.gate(g);
@@ -232,8 +248,6 @@ pub fn schedule_limited(
                         &cuts,
                         &remaining,
                         candidate.is_some(),
-                        ready_count,
-                        chip.bandwidth(),
                         n,
                         config.cut_policy,
                     );
@@ -290,12 +304,13 @@ pub fn schedule_limited(
         cycle += 1;
     }
 
-    Ok(EncodedCircuit::new(
+    let encoded = EncodedCircuit::new(
         chip.clone(),
         mapping.to_vec(),
         initial_cuts.map(<[CutType]>::to_vec),
         events,
-    ))
+    );
+    Ok((encoded, router.stats()))
 }
 
 fn complete(
@@ -325,15 +340,12 @@ enum SameCutDecision {
 ///
 /// `remaining[x·n + q]` holds the not-yet-completed CNOT multiplicity per
 /// qubit pair, including the current gate.
-#[allow(clippy::too_many_arguments)]
 fn decide_same_cut(
     dag: &GateDag,
     g: GateId,
     cuts: &[CutType],
     remaining: &[u32],
     routable_now: bool,
-    ready_count: usize,
-    bandwidth: u32,
     n: usize,
     policy: CutPolicy,
 ) -> SameCutDecision {
@@ -362,8 +374,7 @@ fn decide_same_cut(
     // (−2 each). When a direct path is available the flip must beat the
     // full MODIFY_LATENCY; when the gate is congestion-blocked the wait
     // hides the modification (the paper's "leverages the waiting time"),
-    // so only the channel swing matters — plus a ready-pressure nudge
-    // (the θ factor) that values saved braids more under load.
+    // so only the channel swing matters.
     let gain = |x: usize| -> i64 {
         let mut swing = 0i64;
         for q in 0..n {
@@ -383,7 +394,6 @@ fn decide_same_cut(
             // Blocked: the wait hides the modification latency.
             0
         };
-        let _ = (ready_count, bandwidth); // load factors cancel out here
         swing - latency
     };
     match policy {

@@ -24,8 +24,15 @@
 //!    the M-value cut-modification policy) or [`resu`] (Algorithm 2,
 //!    Ecmas-ReSu, performance-guaranteed on sufficient resources).
 //!
-//! The [`Ecmas`] facade runs the whole pipeline; every ablation knob of the
-//! paper's Tables II–V is a field of [`EcmasConfig`].
+//! The [`Ecmas`] facade runs the whole pipeline. [`Ecmas::session`] exposes
+//! it as typed stages ([`session::Profiled`] → [`session::Mapped`] →
+//! [`session::Scheduled`]) whose artifacts can be inspected and overridden
+//! mid-flight; every run can return a structured [`session::CompileReport`]
+//! (per-stage wall time, router effort, the limited-vs-ReSu choice), and
+//! every ablation knob of the paper's Tables II–V is a field of
+//! [`EcmasConfig`]. The [`session::Compiler`] trait is the workspace-wide
+//! interface baselines implement too, and [`session::compile_batch`] fans
+//! independent compilations across scoped threads.
 //!
 //! # Example
 //!
@@ -60,6 +67,7 @@ pub mod hardness;
 pub mod mapping;
 pub mod profile;
 pub mod resu;
+pub mod session;
 pub mod viz;
 
 pub use compiler::{Ecmas, EcmasConfig};
@@ -70,3 +78,4 @@ pub use error::CompileError;
 pub use mapping::LocationStrategy;
 pub use profile::{para_finding, ExecutionScheme};
 pub use resu::schedule_sufficient;
+pub use session::{compile_batch, Algorithm, CompileOutcome, CompileReport, Compiler};

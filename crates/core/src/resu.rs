@@ -17,7 +17,7 @@
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::GateDag;
 use ecmas_partition::ParityDsu;
-use ecmas_route::{Disjointness, Router};
+use ecmas_route::{Disjointness, Router, RouterStats};
 
 use crate::cut::CutType;
 use crate::encoded::{EncodedCircuit, Event, EventKind};
@@ -42,9 +42,39 @@ pub fn schedule_sufficient(
     chip: &Chip,
     mapping: &[usize],
 ) -> Result<EncodedCircuit, CompileError> {
-    match chip.model() {
-        CodeModel::LatticeSurgery => schedule_sufficient_ls(dag, scheme, chip, mapping),
-        CodeModel::DoubleDefect => schedule_sufficient_dd(dag, scheme, chip, mapping),
+    schedule_sufficient_with_stats(dag, scheme, chip, mapping, None).map(|(enc, _)| enc)
+}
+
+/// [`schedule_sufficient`] plus the router's effort/conflict counters —
+/// the instrumented entry point the session pipeline's `CompileReport`
+/// uses.
+///
+/// `initial_cuts` (double defect only) seeds the tiles' starting cut
+/// types: the first batch then pays the usual 3-cycle remap when its
+/// bipartition disagrees, instead of choosing the initial coloring
+/// freely. `None` keeps Algorithm 2's free choice.
+///
+/// # Errors
+///
+/// As [`schedule_sufficient`], plus [`CompileError::CutTypesMismatch`]
+/// when `initial_cuts` is supplied for a lattice-surgery chip or has the
+/// wrong length.
+pub fn schedule_sufficient_with_stats(
+    dag: &GateDag,
+    scheme: &ExecutionScheme,
+    chip: &Chip,
+    mapping: &[usize],
+    initial_cuts: Option<&[CutType]>,
+) -> Result<(EncodedCircuit, RouterStats), CompileError> {
+    match (chip.model(), initial_cuts) {
+        (CodeModel::LatticeSurgery, Some(_)) => Err(CompileError::CutTypesMismatch),
+        (CodeModel::DoubleDefect, Some(cuts)) if cuts.len() != dag.qubits() => {
+            Err(CompileError::CutTypesMismatch)
+        }
+        (CodeModel::LatticeSurgery, None) => schedule_sufficient_ls(dag, scheme, chip, mapping),
+        (CodeModel::DoubleDefect, _) => {
+            schedule_sufficient_dd(dag, scheme, chip, mapping, initial_cuts)
+        }
     }
 }
 
@@ -53,7 +83,7 @@ fn schedule_sufficient_ls(
     scheme: &ExecutionScheme,
     chip: &Chip,
     mapping: &[usize],
-) -> Result<EncodedCircuit, CompileError> {
+) -> Result<(EncodedCircuit, RouterStats), CompileError> {
     let mut router = Router::new(chip.grid(), Disjointness::Edge);
     for &slot in mapping {
         router.block_tile(slot);
@@ -92,7 +122,8 @@ fn schedule_sufficient_ls(
             cycle += 1;
         }
     }
-    Ok(EncodedCircuit::new(chip.clone(), mapping.to_vec(), None, events))
+    let encoded = EncodedCircuit::new(chip.clone(), mapping.to_vec(), None, events);
+    Ok((encoded, router.stats()))
 }
 
 #[allow(clippy::too_many_lines)]
@@ -101,7 +132,8 @@ fn schedule_sufficient_dd(
     scheme: &ExecutionScheme,
     chip: &Chip,
     mapping: &[usize],
-) -> Result<EncodedCircuit, CompileError> {
+    initial_cuts: Option<&[CutType]>,
+) -> Result<(EncodedCircuit, RouterStats), CompileError> {
     let n = dag.qubits();
     let mut router = Router::new(chip.grid(), Disjointness::Node);
     for &slot in mapping {
@@ -110,8 +142,10 @@ fn schedule_sufficient_dd(
     let layers = scheme.layers();
     let mut events = Vec::new();
     let mut cycle: u64 = 0;
-    let mut cuts: Option<Vec<CutType>> = None; // current assignment
-    let mut initial: Option<Vec<CutType>> = None;
+    // Seeded cuts make the first batch pay for any remap it needs; `None`
+    // lets the first batch's coloring come for free.
+    let mut cuts: Option<Vec<CutType>> = initial_cuts.map(<[CutType]>::to_vec);
+    let mut initial: Option<Vec<CutType>> = initial_cuts.map(<[CutType]>::to_vec);
 
     let mut i = 0;
     while i < layers.len() {
@@ -220,7 +254,8 @@ fn schedule_sufficient_dd(
         i = j;
     }
 
-    Ok(EncodedCircuit::new(chip.clone(), mapping.to_vec(), initial, events))
+    let encoded = EncodedCircuit::new(chip.clone(), mapping.to_vec(), initial, events);
+    Ok((encoded, router.stats()))
 }
 
 #[cfg(test)]

@@ -51,6 +51,40 @@ pub enum Disjointness {
     Edge,
 }
 
+/// Cumulative routing-effort counters, reset with
+/// [`Router::reset_stats`] and read with [`Router::stats`].
+///
+/// The scheduler-facing stats hook: compilers surface these in their
+/// structured reports so congestion (failed finds) and search effort
+/// (cells expanded) are observable per compilation without re-running it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Successful path searches ([`Router::find_tile_path`] /
+    /// [`Router::find_cell_path`] returning `Some`).
+    pub paths_found: u64,
+    /// Failed path searches — the congestion/conflict count: every `None`
+    /// means the current reservations blocked all routes.
+    pub conflicts: u64,
+    /// Total BFS cells expanded across all searches (search effort).
+    pub cells_expanded: u64,
+    /// Total grid edges of every found path (channel occupation proxy).
+    pub path_cells: u64,
+}
+
+impl RouterStats {
+    /// Component-wise sum — used to combine the stats of several router
+    /// instances (e.g. the base and bandwidth-adjusted scheduling runs).
+    #[must_use]
+    pub fn merged(self, other: RouterStats) -> RouterStats {
+        RouterStats {
+            paths_found: self.paths_found + other.paths_found,
+            conflicts: self.conflicts + other.conflicts,
+            cells_expanded: self.cells_expanded + other.cells_expanded,
+            path_cells: self.path_cells + other.path_cells,
+        }
+    }
+}
+
 /// A committed or candidate CNOT path: the endpoint tile cells plus the
 /// channel cells between them, in order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,6 +153,7 @@ pub struct Router {
     visit_epoch: Vec<u32>,
     parent: Vec<u32>,
     epoch: u32,
+    stats: RouterStats,
 }
 
 impl Router {
@@ -135,7 +170,20 @@ impl Router {
             visit_epoch: vec![0; n],
             parent: vec![0; n],
             epoch: 0,
+            stats: RouterStats::default(),
         }
+    }
+
+    /// The cumulative routing counters since construction or the last
+    /// [`reset_stats`](Self::reset_stats).
+    #[must_use]
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Zeroes the routing counters (reservations are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = RouterStats::default();
     }
 
     /// The underlying grid.
@@ -241,6 +289,7 @@ impl Router {
         self.visit_epoch[from] = epoch;
         queue.push_back(from);
         'bfs: while let Some(cur) = queue.pop_front() {
+            self.stats.cells_expanded += 1;
             let neighbors: Vec<usize> = self.grid.neighbors(cur).collect();
             for next in neighbors {
                 if self.visit_epoch[next] == epoch {
@@ -263,6 +312,7 @@ impl Router {
             }
         }
         if self.visit_epoch[to] != epoch {
+            self.stats.conflicts += 1;
             return None;
         }
         let mut cells = vec![to];
@@ -272,6 +322,8 @@ impl Router {
             cells.push(cur);
         }
         cells.reverse();
+        self.stats.paths_found += 1;
+        self.stats.path_cells += cells.len() as u64;
         Some(Path { cells })
     }
 
@@ -552,6 +604,27 @@ mod tests {
             Disjointness::Node,
             &[(&p1, 0, 1), (&p1, 1, 1)]
         ));
+    }
+
+    #[test]
+    fn stats_count_finds_conflicts_and_effort() {
+        let mut r = router(1, 2, 1, Disjointness::Node);
+        r.block_tile(0);
+        r.block_tile(1);
+        for _ in 0..3 {
+            assert!(r.route_tiles(0, 1, 0, 1).is_some());
+        }
+        assert!(r.find_tile_path(0, 1, 0, 1).is_none(), "saturated");
+        let s = r.stats();
+        assert_eq!(s.paths_found, 3);
+        assert_eq!(s.conflicts, 1);
+        assert!(s.cells_expanded >= 4, "every search expands at least the source");
+        assert!(s.path_cells >= 3 * 3, "three paths of ≥3 cells each");
+        r.reset_stats();
+        assert_eq!(r.stats(), RouterStats::default());
+        let merged = s.merged(s);
+        assert_eq!(merged.paths_found, 6);
+        assert_eq!(merged.conflicts, 2);
     }
 
     #[test]

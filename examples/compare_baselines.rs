@@ -1,11 +1,13 @@
 //! Head-to-head comparison of Ecmas against the paper's two baselines on a
 //! selection of named benchmarks — a miniature of the paper's Table I.
+//! All three compilers run through the workspace-wide [`Compiler`] trait,
+//! so the loop body is one code path.
 //!
 //! ```sh
 //! cargo run --release --example compare_baselines
 //! ```
 
-use ecmas::{validate_encoded, Ecmas};
+use ecmas::{validate_encoded, Compiler, Ecmas};
 use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};
 
@@ -15,27 +17,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<16} {:>6} | {:>10} {:>9} | {:>7} {:>9}",
         "circuit", "alpha", "AutoBraid", "Ecmas-dd", "EDPCI", "Ecmas-ls"
     );
+    let ecmas = Ecmas::default();
     for name in names {
         let circuit = ecmas_circuit::benchmarks::by_name(name).expect("known benchmark name");
         let n = circuit.qubits();
         let dd = Chip::min_viable(CodeModel::DoubleDefect, n, 3)?;
         let ls = Chip::min_viable(CodeModel::LatticeSurgery, n, 3)?;
 
-        let autobraid = AutoBraid::new().compile(&circuit, &dd)?;
-        let ecmas_dd = Ecmas::default().compile(&circuit, &dd)?;
-        let edpci = Edpci::new().compile(&circuit, &ls)?;
-        let ecmas_ls = Ecmas::default().compile(&circuit, &ls)?;
-        for enc in [&autobraid, &ecmas_dd, &edpci, &ecmas_ls] {
-            validate_encoded(&circuit, enc)?;
+        // One interface for every compiler: (compiler, chip) pairs in
+        // column order.
+        let runs: [(&dyn Compiler, &Chip); 4] =
+            [(&AutoBraid::new(), &dd), (&ecmas, &dd), (&Edpci::new(), &ls), (&ecmas, &ls)];
+        let mut cycles = Vec::new();
+        for (compiler, chip) in runs {
+            let outcome = compiler.compile_outcome(&circuit, chip)?;
+            validate_encoded(&circuit, &outcome.encoded)?;
+            cycles.push(outcome.report.cycles);
         }
         println!(
             "{:<16} {:>6} | {:>10} {:>9} | {:>7} {:>9}",
             name,
             circuit.depth(),
-            autobraid.cycles(),
-            ecmas_dd.cycles(),
-            edpci.cycles(),
-            ecmas_ls.cycles()
+            cycles[0],
+            cycles[1],
+            cycles[2],
+            cycles[3]
         );
     }
     println!("\n(all schedules cross-checked by the independent validator)");

@@ -1,0 +1,12 @@
+// Bundled smoke-test program: a Toffoli feeding a CNOT chain.
+// Used by the CI `ecmasc --json` step and loadable by
+// `cargo run --example qasm_compile -- examples/programs/toffoli_chain.qasm`.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+ccx q[0], q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+measure q -> c;

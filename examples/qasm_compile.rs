@@ -1,11 +1,12 @@
 //! Compile an OpenQASM 2.0 program to a surface-code schedule.
 //!
-//! Reads the file given as the first argument, or uses a bundled
-//! Toffoli-chain program when none is supplied, then prints the clock-cycle
-//! timeline of the encoded circuit.
+//! Reads the file given as the first argument (try the bundled
+//! `examples/programs/toffoli_chain.qasm`), or falls back to the same
+//! program embedded below, then compiles it through the staged session
+//! API and prints the clock-cycle timeline plus the compile report.
 //!
 //! ```sh
-//! cargo run --example qasm_compile -- my_program.qasm
+//! cargo run --example qasm_compile -- examples/programs/toffoli_chain.qasm
 //! ```
 
 use ecmas::{validate_encoded, Ecmas, EventKind};
@@ -39,11 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let chip = Chip::min_viable(CodeModel::DoubleDefect, circuit.qubits(), 3)?;
-    let encoded = Ecmas::default().compile(&circuit, &chip)?;
-    validate_encoded(&circuit, &encoded)?;
+    // The staged session: profile and map are explicit, so the mapping
+    // could be overridden here before scheduling.
+    let outcome = Ecmas::default().session(&circuit, &chip)?.map()?.schedule()?.into_outcome();
+    validate_encoded(&circuit, &outcome.encoded)?;
 
-    println!("\ndouble-defect schedule, Δ = {} cycles:", encoded.cycles());
-    let mut events: Vec<_> = encoded.events().iter().collect();
+    println!("\ndouble-defect schedule, Δ = {} cycles:", outcome.encoded.cycles());
+    let mut events: Vec<_> = outcome.encoded.events().iter().collect();
     events.sort_by_key(|e| (e.start, e.gate));
     for event in events {
         let what = match &event.kind {
@@ -64,6 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("  cycle {:>3}..{:<3}          {what}", event.start, event.end()),
         }
     }
+    println!(
+        "\nreport: profile {:.2?}, map {:.2?}, schedule {:.2?}; router {} paths / {} conflicts",
+        outcome.report.timings.profile,
+        outcome.report.timings.map,
+        outcome.report.timings.schedule,
+        outcome.report.router.paths_found,
+        outcome.report.router.conflicts,
+    );
 
     // Round-trip the circuit back out as QASM.
     let regenerated = qasm::to_qasm(&circuit);

@@ -1,10 +1,14 @@
 //! Ecmas-ReSu: the performance-guaranteed scheduler for chips with
-//! sufficient communication capacity (paper §IV-B2, Theorem 2/3).
+//! sufficient communication capacity (paper §IV-B2, Theorem 2/3), driven
+//! through the resource-adaptive session entry point: `compile_auto`
+//! compares the chip's capacity against the profiled ĝPM and picks
+//! Algorithm 1 or Ecmas-ReSu by itself — the report records the choice.
 //!
 //! ```sh
 //! cargo run --release --example sufficient_resources
 //! ```
 
+use ecmas::session::Algorithm;
 use ecmas::{para_finding, validate_encoded, Ecmas};
 use ecmas_chip::{Chip, CodeModel};
 
@@ -29,19 +33,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             chip.communication_capacity(),
         );
 
+        // On the minimum viable chip the auto choice falls back to the
+        // limited-resources scheduler; on the sufficient chip it is ReSu.
         let limited_chip = Chip::min_viable(model, circuit.qubits(), 3)?;
-        let limited = Ecmas::default().compile(&circuit, &limited_chip)?;
-        let resu = Ecmas::default().compile_resu(&circuit, &chip)?;
-        validate_encoded(&circuit, &limited)?;
-        validate_encoded(&circuit, &resu)?;
+        let limited = Ecmas::default().compile_auto(&circuit, &limited_chip)?;
+        let resu = Ecmas::default().compile_auto(&circuit, &chip)?;
+        assert_eq!(limited.report.algorithm, Algorithm::Limited);
+        assert_eq!(resu.report.algorithm, Algorithm::ReSu);
+        validate_encoded(&circuit, &limited.encoded)?;
+        validate_encoded(&circuit, &resu.encoded)?;
         println!(
-            "  Algorithm 1 on the minimum viable chip: Δ = {}\n  Ecmas-ReSu on the sufficient chip:      Δ = {}",
-            limited.cycles(),
-            resu.cycles()
+            "  auto on the minimum viable chip picked `{}`: Δ = {}\n  \
+             auto on the sufficient chip picked `{}`:    Δ = {}",
+            limited.report.algorithm.label(),
+            limited.report.cycles,
+            resu.report.algorithm.label(),
+            resu.report.cycles
         );
         if model == CodeModel::LatticeSurgery {
             assert_eq!(
-                resu.cycles() as usize,
+                resu.report.cycles as usize,
                 dag.depth(),
                 "lattice-surgery ReSu is depth-optimal"
             );
@@ -50,8 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let bound = (5 * dag.depth()).div_ceil(2);
             println!(
                 "  (5/2-approximation: Δ = {} ≤ ⌈5α/2⌉ = {bound}, {} cut modifications)",
-                resu.cycles(),
-                resu.modification_count()
+                resu.report.cycles, resu.report.cut_modifications
             );
         }
     }

@@ -2,12 +2,21 @@
 //! surface-code schedule and report the result.
 //!
 //! ```sh
-//! ecmasc program.qasm [--model dd|ls] [--chip min|4x|sufficient] [--timeline N]
+//! ecmasc program.qasm [--model dd|ls] [--chip min|4x|congested|sufficient]
+//!                     [--timeline N] [--json]
 //! ```
+//!
+//! By default the resource-adaptive pipeline runs (`Ecmas::compile_auto`:
+//! Ecmas-ReSu when the chip's communication capacity reaches the profiled
+//! `ĝPM`, Algorithm 1 otherwise) and a human-readable summary is printed.
+//! `--json` instead emits the structured `CompileReport` — per-stage wall
+//! times, router path/conflict counters, the bandwidth-adjust decision,
+//! and the chosen algorithm — as a single JSON object on stdout, wrapped
+//! with the input's circuit/chip facts.
 
 use std::process::ExitCode;
 
-use ecmas::{para_finding, validate_encoded, viz, Ecmas};
+use ecmas::{validate_encoded, viz, Ecmas};
 use ecmas_chip::{Chip, CodeModel};
 
 struct Args {
@@ -15,6 +24,7 @@ struct Args {
     model: CodeModel,
     chip: String,
     timeline: u64,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
     let mut model = CodeModel::DoubleDefect;
     let mut chip = "min".to_string();
     let mut timeline = 0;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--model" => {
@@ -34,8 +45,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--chip" => {
                 chip = args.next().ok_or("missing value for --chip")?;
-                if !matches!(chip.as_str(), "min" | "4x" | "sufficient") {
-                    return Err(format!("unknown chip {chip:?} (want min|4x|sufficient)"));
+                if !matches!(chip.as_str(), "min" | "4x" | "congested" | "sufficient") {
+                    return Err(format!(
+                        "unknown chip {chip:?} (want min|4x|congested|sufficient)"
+                    ));
                 }
             }
             "--timeline" => {
@@ -44,14 +57,29 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("missing/invalid value for --timeline")?;
             }
+            "--json" => json = true,
             "--help" | "-h" => {
-                return Err("usage: ecmasc <file.qasm> [--model dd|ls] [--chip min|4x|sufficient] [--timeline N]".into());
+                return Err("usage: ecmasc <file.qasm> [--model dd|ls] \
+                            [--chip min|4x|congested|sufficient] [--timeline N] [--json]"
+                    .into());
             }
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(Args { path: path.ok_or("missing input file (see --help)")?, model, chip, timeline })
+    Ok(Args { path: path.ok_or("missing input file (see --help)")?, model, chip, timeline, json })
+}
+
+/// Minimal JSON string escaping for the few free-text fields we emit.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn run() -> Result<(), String> {
@@ -59,47 +87,84 @@ fn run() -> Result<(), String> {
     let source = std::fs::read_to_string(&args.path)
         .map_err(|e| format!("cannot read {}: {e}", args.path))?;
     let circuit = ecmas_circuit::qasm::parse(&source).map_err(|e| e.to_string())?;
-    eprintln!(
-        "parsed {}: {} qubits, {} CNOTs, {} single-qubit gates, {} T gates, depth α = {}",
-        args.path,
-        circuit.qubits(),
-        circuit.cnot_count(),
-        circuit.single_gate_count(),
-        circuit.t_count(),
-        circuit.depth()
-    );
+    if !args.json {
+        eprintln!(
+            "parsed {}: {} qubits, {} CNOTs, {} single-qubit gates, {} T gates, depth α = {}",
+            args.path,
+            circuit.qubits(),
+            circuit.cnot_count(),
+            circuit.single_gate_count(),
+            circuit.t_count(),
+            circuit.depth()
+        );
+    }
 
     let chip = match args.chip.as_str() {
         "min" => Chip::min_viable(args.model, circuit.qubits(), 3),
         "4x" => Chip::four_x(args.model, circuit.qubits(), 3),
+        "congested" => Chip::congested(args.model, circuit.qubits(), 3),
         _ => {
-            let gpm = para_finding(&circuit.dag()).gpm();
+            let gpm = ecmas::para_finding(&circuit.dag()).gpm();
             Chip::sufficient(args.model, circuit.qubits(), gpm.max(1), 3)
         }
     }
     .map_err(|e| e.to_string())?;
 
-    let encoded = if args.chip == "sufficient" {
-        Ecmas::default().compile_resu(&circuit, &chip)
-    } else {
-        Ecmas::default().compile(&circuit, &chip)
-    }
-    .map_err(|e| e.to_string())?;
-    validate_encoded(&circuit, &encoded).map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    // The resource-adaptive session pipeline: profile, map, then pick
+    // limited vs ReSu from capacity vs ĝPM. `--chip sufficient` sizes the
+    // chip so the auto choice lands on ReSu, as before.
+    let outcome = Ecmas::default().compile_auto(&circuit, &chip).map_err(|e| e.to_string())?;
+    validate_encoded(&circuit, &outcome.encoded)
+        .map_err(|e| format!("internal: invalid schedule: {e}"))?;
 
+    if args.json {
+        println!(
+            "{{\"file\":\"{}\",\"qubits\":{},\"cnots\":{},\"depth\":{},\
+             \"model\":\"{}\",\"chip\":{{\"kind\":\"{}\",\"tile_rows\":{},\"tile_cols\":{},\
+             \"bandwidth\":{}}},\"report\":{}}}",
+            json_escape(&args.path),
+            circuit.qubits(),
+            circuit.cnot_count(),
+            circuit.depth(),
+            args.model.label(),
+            json_escape(&args.chip),
+            chip.tile_rows(),
+            chip.tile_cols(),
+            chip.bandwidth(),
+            outcome.report.to_json(),
+        );
+        return Ok(());
+    }
+
+    let report = &outcome.report;
     println!(
-        "model={} chip={} ({}×{} tiles, bandwidth {}) Δ = {} cycles ({} events, {} cut modifications)",
+        "model={} chip={} ({}×{} tiles, bandwidth {}) algorithm={} Δ = {} cycles \
+         ({} events, {} cut modifications)",
         args.model.label(),
         args.chip,
         chip.tile_rows(),
         chip.tile_cols(),
         chip.bandwidth(),
-        encoded.cycles(),
-        encoded.events().len(),
-        encoded.modification_count(),
+        report.algorithm.label(),
+        report.cycles,
+        report.events,
+        report.cut_modifications,
+    );
+    println!(
+        "ĝPM={} capacity={} restarts={} bandwidth-adjust={} | profile {:.2?} map {:.2?} \
+         schedule {:.2?} | router: {} paths, {} conflicts",
+        report.gpm,
+        report.capacity,
+        report.placement_restarts,
+        report.bandwidth_adjust.label(),
+        report.timings.profile,
+        report.timings.map,
+        report.timings.schedule,
+        report.router.paths_found,
+        report.router.conflicts,
     );
     if args.timeline > 0 {
-        print!("{}", viz::render_timeline(&encoded, args.timeline));
+        print!("{}", viz::render_timeline(&outcome.encoded, args.timeline));
     }
     Ok(())
 }

@@ -6,12 +6,16 @@
 //! (`src/bin/ecmasc.rs`), the runnable `examples/`, and the cross-crate
 //! integration tests in `tests/`.
 //!
-//! Start from [`Ecmas`] (the five-stage pipeline driver) and
+//! Start from [`Ecmas`] (the pipeline driver), [`Ecmas::session`] (the
+//! staged API: profile → map → schedule, with per-stage artifacts,
+//! overrides, and a structured [`CompileReport`] per run), and
 //! [`EcmasConfig`] (every ablation knob of the paper's Tables II–V), or
 //! from the repo-level `README.md` for the map of the seven implementation
-//! crates. The compiler pipeline itself — profiling, mapping, cut-type
-//! initialization, scheduling, validation — is documented in depth on
-//! [`ecmas_core`].
+//! crates. The [`Compiler`] trait is the interface every compiler in the
+//! workspace (Ecmas and both baselines) implements; [`compile_batch`]
+//! fans independent compilations across threads. The pipeline itself —
+//! profiling, mapping, cut-type initialization, scheduling, validation —
+//! is documented in depth on [`ecmas_core`].
 //!
 //! # Example
 //!
@@ -36,11 +40,12 @@
 #![warn(missing_docs)]
 
 pub use ecmas_core::{
-    compiler, cut, encoded, engine, error, hardness, mapping, profile, resu, viz,
+    compiler, cut, encoded, engine, error, hardness, mapping, profile, resu, session, viz,
 };
 
 pub use ecmas_core::{
-    para_finding, schedule_limited, schedule_sufficient, validate_encoded, CompileError,
-    CutInitStrategy, CutPolicy, CutType, Ecmas, EcmasConfig, EncodedCircuit, Event, EventKind,
-    ExecutionScheme, GateOrder, LocationStrategy, ScheduleConfig, ValidateError,
+    compile_batch, para_finding, schedule_limited, schedule_sufficient, validate_encoded,
+    Algorithm, CompileError, CompileOutcome, CompileReport, Compiler, CutInitStrategy, CutPolicy,
+    CutType, Ecmas, EcmasConfig, EncodedCircuit, Event, EventKind, ExecutionScheme, GateOrder,
+    LocationStrategy, ScheduleConfig, ValidateError,
 };

@@ -2,7 +2,7 @@
 //! benchmarks, cross-checked by the independent schedule validator and by
 //! the paper's analytical signatures.
 
-use ecmas::{para_finding, validate_encoded, Ecmas, EcmasConfig};
+use ecmas::{para_finding, validate_encoded, Compiler, Ecmas, EcmasConfig};
 use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::benchmarks;
@@ -15,22 +15,26 @@ fn suite() -> Vec<ecmas_circuit::Circuit> {
 
 #[test]
 fn every_compiler_produces_valid_schedules_on_the_suite() {
+    // One code path for all three compilers: the workspace-wide trait.
+    let ecmas = Ecmas::default();
+    let (autobraid, edpci) = (AutoBraid::new(), Edpci::new());
     for circuit in suite() {
         let n = circuit.qubits();
         let dd = Chip::min_viable(CodeModel::DoubleDefect, n, 3).unwrap();
         let ls = Chip::min_viable(CodeModel::LatticeSurgery, n, 3).unwrap();
-        for enc in [
-            AutoBraid::new().compile(&circuit, &dd).unwrap(),
-            Ecmas::default().compile(&circuit, &dd).unwrap(),
-            Edpci::new().compile(&circuit, &ls).unwrap(),
-            Ecmas::default().compile(&circuit, &ls).unwrap(),
-        ] {
-            validate_encoded(&circuit, &enc).unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
+        let runs: [(&dyn Compiler, &Chip); 4] =
+            [(&autobraid, &dd), (&ecmas, &dd), (&edpci, &ls), (&ecmas, &ls)];
+        for (compiler, chip) in runs {
+            let outcome = compiler.compile_outcome(&circuit, chip).unwrap();
+            validate_encoded(&circuit, &outcome.encoded)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", compiler.name(), circuit.name()));
             assert!(
-                enc.cycles() as usize >= circuit.depth(),
-                "{}: Δ below the depth lower bound",
+                outcome.report.cycles as usize >= circuit.depth(),
+                "{} on {}: Δ below the depth lower bound",
+                compiler.name(),
                 circuit.name()
             );
+            assert_eq!(outcome.report.cycles, outcome.encoded.cycles());
         }
     }
 }
@@ -139,11 +143,15 @@ fn four_x_resources_never_hurt_ecmas() {
 fn compilation_is_deterministic() {
     let circuit = benchmarks::qft_n10();
     let chip = Chip::min_viable(CodeModel::DoubleDefect, 10, 3).unwrap();
-    let a = Ecmas::new(EcmasConfig::default()).compile(&circuit, &chip).unwrap();
-    let b = Ecmas::new(EcmasConfig::default()).compile(&circuit, &chip).unwrap();
-    assert_eq!(a.cycles(), b.cycles());
-    assert_eq!(a.mapping(), b.mapping());
-    assert_eq!(a.events().len(), b.events().len());
+    let a = Ecmas::new(EcmasConfig::default()).compile_outcome(&circuit, &chip).unwrap();
+    let b = Ecmas::new(EcmasConfig::default()).compile_outcome(&circuit, &chip).unwrap();
+    assert_eq!(a.encoded.cycles(), b.encoded.cycles());
+    assert_eq!(a.encoded.mapping(), b.encoded.mapping());
+    assert_eq!(a.encoded.events(), b.encoded.events());
+    // Everything in the report except wall time is deterministic too.
+    assert_eq!(a.report.router, b.report.router);
+    assert_eq!(a.report.algorithm, b.report.algorithm);
+    assert_eq!(a.report.bandwidth_adjust, b.report.bandwidth_adjust);
 }
 
 #[test]

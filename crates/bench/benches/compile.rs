@@ -8,7 +8,7 @@ use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::{benchmarks, random};
 use ecmas_partition::{place, WeightedGraph};
-use ecmas_route::{Disjointness, Router};
+use ecmas_route::{Disjointness, RouteRequest, Router};
 
 fn bench_para_finding(c: &mut Criterion) {
     let qft = benchmarks::qft_n50();
@@ -41,6 +41,28 @@ fn bench_router(c: &mut Criterion) {
                 if from != to && router.route_tiles(from, to, k / 8, 1).is_some() {
                     routed += 1;
                 }
+            }
+            routed
+        });
+    });
+    // The same workload through the per-cycle batch API (8 requests per
+    // cycle, distance-ordered) — what the schedulers actually drive.
+    c.bench_function("router/64_pairs_batched_8x8_b2", |b| {
+        b.iter(|| {
+            let mut router = Router::new(chip.grid(), Disjointness::Node);
+            for t in 0..64 {
+                router.block_tile(t);
+            }
+            let mut routed = 0;
+            for cycle in 0..8u64 {
+                let requests: Vec<RouteRequest> = (8 * cycle..8 * (cycle + 1))
+                    .filter_map(|k| {
+                        let from = (k * 17 % 64) as usize;
+                        let to = (k * 29 % 64) as usize;
+                        (from != to).then(|| RouteRequest::route(from, to, 1))
+                    })
+                    .collect();
+                routed += router.route_ready_by_distance(&requests, cycle).iter().flatten().count();
             }
             routed
         });

@@ -458,7 +458,7 @@ mod tests {
         let mut router = Router::new(chip.grid(), Disjointness::Node);
         router.block_tile(0);
         router.block_tile(1);
-        let path = router.find_tile_path(0, 1, 0, 1).unwrap();
+        let path = router.find_tile_path(0, 1, 0).unwrap();
         (c, chip, mapping, path)
     }
 
@@ -537,8 +537,8 @@ mod tests {
         for t in 0..3 {
             router.block_tile(t);
         }
-        let p01 = router.find_tile_path(0, 1, 0, 1).unwrap();
-        let p12 = router.find_tile_path(1, 2, 5, 1).unwrap();
+        let p01 = router.find_tile_path(0, 1, 0).unwrap();
+        let p12 = router.find_tile_path(1, 2, 5).unwrap();
         let enc = EncodedCircuit::new(
             chip,
             mapping,
@@ -584,20 +584,26 @@ mod tests {
         let grid = chip.grid();
         let mapping = vec![0, 3, 1, 2];
         // Hand-build two paths through the central cell (2,2).
-        let p03 = Path::from_cells(vec![
-            grid.tile_cell(0),
-            grid.index(1, 2),
-            grid.index(2, 2),
-            grid.index(3, 2),
-            grid.tile_cell(3),
-        ]);
-        let p12 = Path::from_cells(vec![
-            grid.tile_cell(1),
-            grid.index(2, 3),
-            grid.index(2, 2),
-            grid.index(2, 1),
-            grid.tile_cell(2),
-        ]);
+        let p03 = Path::from_cells(
+            &grid,
+            vec![
+                grid.tile_cell(0),
+                grid.index(1, 2),
+                grid.index(2, 2),
+                grid.index(3, 2),
+                grid.tile_cell(3),
+            ],
+        );
+        let p12 = Path::from_cells(
+            &grid,
+            vec![
+                grid.tile_cell(1),
+                grid.index(2, 3),
+                grid.index(2, 2),
+                grid.index(2, 1),
+                grid.tile_cell(2),
+            ],
+        );
         let enc = EncodedCircuit::new(
             chip,
             mapping,
@@ -645,20 +651,26 @@ mod tests {
         let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
         let grid = chip.grid();
         let mapping = vec![0, 3, 1, 2];
-        let p03 = Path::from_cells(vec![
-            grid.tile_cell(0),
-            grid.index(1, 2),
-            grid.index(2, 2),
-            grid.index(3, 2),
-            grid.tile_cell(3),
-        ]);
-        let p12 = Path::from_cells(vec![
-            grid.tile_cell(1),
-            grid.index(2, 3),
-            grid.index(2, 2),
-            grid.index(2, 1),
-            grid.tile_cell(2),
-        ]);
+        let p03 = Path::from_cells(
+            &grid,
+            vec![
+                grid.tile_cell(0),
+                grid.index(1, 2),
+                grid.index(2, 2),
+                grid.index(3, 2),
+                grid.tile_cell(3),
+            ],
+        );
+        let p12 = Path::from_cells(
+            &grid,
+            vec![
+                grid.tile_cell(1),
+                grid.index(2, 3),
+                grid.index(2, 2),
+                grid.index(2, 1),
+                grid.tile_cell(2),
+            ],
+        );
         let enc = EncodedCircuit::new(
             chip,
             mapping,

@@ -15,9 +15,9 @@
 //!   5/2-approximation (Theorem 3).
 
 use ecmas_chip::{Chip, CodeModel};
-use ecmas_circuit::GateDag;
+use ecmas_circuit::{GateDag, GateId};
 use ecmas_partition::ParityDsu;
-use ecmas_route::{Disjointness, Router, RouterStats};
+use ecmas_route::{Disjointness, RouteRequest, Router, RouterStats};
 
 use crate::cut::CutType;
 use crate::encoded::{EncodedCircuit, Event, EventKind};
@@ -91,39 +91,62 @@ fn schedule_sufficient_ls(
     let mut events = Vec::new();
     let mut cycle: u64 = 0;
     for layer in scheme.layers() {
-        // Route short gates first: a long greedy path laid down early can
-        // otherwise block several short ones (Theorem 2 guarantees the
-        // paths exist; the order determines whether greedy finds them).
-        let mut pending: Vec<usize> = layer.clone();
-        pending.sort_by_key(|&g| {
-            let gate = dag.gate(g);
-            chip.tile_distance(mapping[gate.control], mapping[gate.target])
-        });
-        while !pending.is_empty() {
-            let mut still: Vec<usize> = Vec::new();
-            for &g in &pending {
-                let gate = dag.gate(g);
-                match router.route_tiles(mapping[gate.control], mapping[gate.target], cycle, 1) {
-                    Some(path) => events.push(Event {
-                        gate: Some(g),
-                        start: cycle,
-                        kind: EventKind::LatticeCnot { path },
-                    }),
-                    None => still.push(g),
-                }
-            }
-            if still.len() == pending.len() {
-                return Err(CompileError::ScheduleStuck { cycle, pending: still.len() });
-            }
-            pending = still;
-            cycle += 1;
-        }
-        if layer.is_empty() {
-            cycle += 1;
-        }
+        // The whole layer goes to the router as one batch per cycle; the
+        // router serves it shortest-estimated-distance first, so a long
+        // greedy path laid down early cannot block several short ones
+        // (Theorem 2 guarantees the paths exist; the order determines
+        // whether greedy finds them).
+        cycle =
+            route_layer_batched(&mut router, dag, mapping, layer, cycle, &mut events, |path| {
+                EventKind::LatticeCnot { path }
+            })?;
     }
     let encoded = EncodedCircuit::new(chip.clone(), mapping.to_vec(), None, events);
     Ok((encoded, router.stats()))
+}
+
+/// Routes every gate of `layer` starting at `cycle`, one
+/// [`Router::route_ready_by_distance`] batch per cycle, spilling blocked
+/// gates into follow-up cycles. Returns the first cycle after the layer.
+///
+/// An empty layer (identity padding in the execution scheme) still
+/// consumes its clock cycle.
+fn route_layer_batched(
+    router: &mut Router,
+    dag: &GateDag,
+    mapping: &[usize],
+    layer: &[GateId],
+    mut cycle: u64,
+    events: &mut Vec<Event>,
+    kind: impl Fn(ecmas_route::Path) -> EventKind,
+) -> Result<u64, CompileError> {
+    let mut pending: Vec<GateId> = layer.to_vec();
+    while !pending.is_empty() {
+        let requests: Vec<RouteRequest> = pending
+            .iter()
+            .map(|&g| {
+                let gate = dag.gate(g);
+                RouteRequest::route(mapping[gate.control], mapping[gate.target], 1)
+            })
+            .collect();
+        let outcomes = router.route_ready_by_distance(&requests, cycle);
+        let mut still: Vec<GateId> = Vec::new();
+        for (&g, outcome) in pending.iter().zip(outcomes) {
+            match outcome {
+                Some(path) => events.push(Event { gate: Some(g), start: cycle, kind: kind(path) }),
+                None => still.push(g),
+            }
+        }
+        if still.len() == pending.len() {
+            return Err(CompileError::ScheduleStuck { cycle, pending: still.len() });
+        }
+        pending = still;
+        cycle += 1;
+    }
+    if layer.is_empty() {
+        cycle += 1;
+    }
+    Ok(cycle)
 }
 
 #[allow(clippy::too_many_lines)]
@@ -219,37 +242,19 @@ fn schedule_sufficient_dd(
             }
         }
 
-        // Execute the batch, one layer per cycle (spilling on congestion).
+        // Execute the batch, one layer per cycle (spilling on congestion),
+        // each layer a distance-ordered router batch — see the
+        // lattice-surgery scheduler.
         for layer in &layers[i..j] {
-            // Short gates first — see the lattice-surgery scheduler.
-            let mut pending: Vec<usize> = layer.clone();
-            pending.sort_by_key(|&g| {
-                let gate = dag.gate(g);
-                chip.tile_distance(mapping[gate.control], mapping[gate.target])
-            });
-            while !pending.is_empty() {
-                let mut still = Vec::new();
-                for &g in &pending {
-                    let gate = dag.gate(g);
-                    match router.route_tiles(mapping[gate.control], mapping[gate.target], cycle, 1)
-                    {
-                        Some(path) => events.push(Event {
-                            gate: Some(g),
-                            start: cycle,
-                            kind: EventKind::Braid { path },
-                        }),
-                        None => still.push(g),
-                    }
-                }
-                if still.len() == pending.len() {
-                    return Err(CompileError::ScheduleStuck { cycle, pending: still.len() });
-                }
-                pending = still;
-                cycle += 1;
-            }
-            if layer.is_empty() {
-                cycle += 1;
-            }
+            cycle = route_layer_batched(
+                &mut router,
+                dag,
+                mapping,
+                layer,
+                cycle,
+                &mut events,
+                |path| EventKind::Braid { path },
+            )?;
         }
         i = j;
     }

@@ -178,7 +178,8 @@ impl CompileReport {
                 "\"timings_ms\":{{\"profile\":{:.3},\"map\":{:.3},",
                 "\"schedule\":{:.3},\"total\":{:.3}}},",
                 "\"router\":{{\"paths_found\":{},\"conflicts\":{},",
-                "\"cells_expanded\":{},\"path_cells\":{}}}}}"
+                "\"cells_expanded\":{},\"pruned_expansions\":{},",
+                "\"path_cells\":{}}}}}"
             ),
             self.algorithm.label(),
             self.cycles,
@@ -195,6 +196,7 @@ impl CompileReport {
             self.router.paths_found,
             self.router.conflicts,
             self.router.cells_expanded,
+            self.router.pruned_expansions,
             self.router.path_cells,
         )
     }
@@ -734,6 +736,7 @@ mod tests {
             "\"placement_restarts\"",
             "\"paths_found\"",
             "\"conflicts\"",
+            "\"pruned_expansions\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

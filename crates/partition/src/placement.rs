@@ -162,11 +162,13 @@ fn recurse(
     ka = ka.min(a_slots).max(k.saturating_sub(b_slots));
 
     // Bisect the induced subgraph.
-    let index_of: std::collections::HashMap<usize, usize> =
-        qubits.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+    let mut index_of = vec![usize::MAX; graph.len()];
+    for (i, &q) in qubits.iter().enumerate() {
+        index_of[q] = i;
+    }
     let sub_edges =
-        graph.edges().iter().filter_map(|&(a, b, w)| match (index_of.get(&a), index_of.get(&b)) {
-            (Some(&ia), Some(&ib)) => Some((ia, ib, w)),
+        graph.edges().iter().filter_map(|&(a, b, w)| match (index_of[a], index_of[b]) {
+            (ia, ib) if ia != usize::MAX && ib != usize::MAX => Some((ia, ib, w)),
             _ => None,
         });
     let sub = WeightedGraph::from_edges(k, sub_edges);
@@ -183,6 +185,16 @@ fn recurse(
 
 /// Best-improvement local search: swap two qubits or move a qubit to a free
 /// slot while the cost decreases.
+///
+/// The cost deltas are evaluated through per-qubit *attraction profiles*:
+/// Manhattan distance separates into row and column terms, so the weighted
+/// distance from a candidate slot `(r, c)` to all of `q`'s neighbors is
+/// `A_q(r) + B_q(c)`, and both profiles come from a weighted histogram of
+/// the neighbors' current rows/columns in two prefix passes. Each round
+/// then costs `O(E + n·(rows + cols) + n·slots)` instead of a graph scan
+/// per candidate, while producing the *same integers* — and therefore the
+/// same move sequence and final mapping — as the naive
+/// `Σ w·(d(to, s_u) − d(from, s_u))` evaluation.
 fn refine(graph: &WeightedGraph, rows: usize, cols: usize, slot_of: &mut [usize]) {
     let n = graph.len();
     let slots = rows * cols;
@@ -190,34 +202,64 @@ fn refine(graph: &WeightedGraph, rows: usize, cols: usize, slot_of: &mut [usize]
     for (q, &s) in slot_of.iter().enumerate() {
         occupant[s] = Some(q);
     }
-    // Cost delta of re-seating `q` from its slot to `to`, with `ignore`
-    // excluded (the swap partner, whose own delta is computed separately).
-    let delta_move = |slot_of: &[usize], q: usize, to: usize, ignore: Option<usize>| -> i64 {
-        let from = slot_of[q];
-        let mut d = 0i64;
+    let clamp = |w: u64| i64::try_from(w).unwrap_or(i64::MAX);
+    // Dense pair-weight table for the swap correction term (γ_qp): a swap
+    // leaves the q–p edge length unchanged, so its contribution must be
+    // backed out of the two one-sided deltas. n is a tile-array
+    // population, so n² stays small.
+    let mut weight = vec![0i64; n * n];
+    for q in 0..n {
         for &(u, w) in graph.neighbors(q) {
-            if Some(u) == ignore {
-                continue;
-            }
-            let w = i64::try_from(w).unwrap_or(i64::MAX);
-            d += w
-                * (manhattan(cols, to, slot_of[u]) as i64
-                    - manhattan(cols, from, slot_of[u]) as i64);
+            weight[q * n + u] = clamp(w);
         }
-        d
-    };
+    }
+    let mut row_hist = vec![0i64; rows];
+    let mut col_hist = vec![0i64; cols];
+    let mut row_profile = vec![0i64; n * rows];
+    let mut col_profile = vec![0i64; n * cols];
+    // `A(x) = Σ_u w_u·|x − x_u|` for every coordinate `x`, from the
+    // neighbors' weighted coordinate histogram in two sweeps.
+    fn fill_profile(hist: &[i64], out: &mut [i64]) {
+        let (mut below, mut acc) = (0i64, 0i64);
+        for (x, o) in out.iter_mut().enumerate() {
+            acc += below;
+            *o = acc;
+            below += hist[x];
+        }
+        let (mut above, mut acc) = (0i64, 0i64);
+        for (x, o) in out.iter_mut().enumerate().rev() {
+            acc += above;
+            *o += acc;
+            above += hist[x];
+        }
+    }
 
     for _round in 0..4 * n.max(1) {
+        for q in 0..n {
+            row_hist.fill(0);
+            col_hist.fill(0);
+            for &(u, w) in graph.neighbors(q) {
+                let s = slot_of[u];
+                row_hist[s / cols] += clamp(w);
+                col_hist[s % cols] += clamp(w);
+            }
+            fill_profile(&row_hist, &mut row_profile[q * rows..(q + 1) * rows]);
+            fill_profile(&col_hist, &mut col_profile[q * cols..(q + 1) * cols]);
+        }
+        let attraction = |q: usize, slot: usize| -> i64 {
+            row_profile[q * rows + slot / cols] + col_profile[q * cols + slot % cols]
+        };
         let mut best: Option<(usize, Option<usize>, usize, i64)> = None; // (q, partner, target_slot, delta)
         for q in 0..n {
             let from = slot_of[q];
+            let a_from = attraction(q, from);
             for (target, &occ) in occupant.iter().enumerate() {
                 if target == from {
                     continue;
                 }
                 match occ {
                     None => {
-                        let d = delta_move(slot_of, q, target, None);
+                        let d = attraction(q, target) - a_from;
                         if best.is_none_or(|(_, _, _, bd)| d < bd) {
                             best = Some((q, None, target, d));
                         }
@@ -226,11 +268,12 @@ fn refine(graph: &WeightedGraph, rows: usize, cols: usize, slot_of: &mut [usize]
                         if p <= q {
                             continue; // each unordered pair once
                         }
-                        let mut d = delta_move(slot_of, q, target, Some(p))
-                            + delta_move(slot_of, p, from, Some(q));
                         // The q–p edge length is unchanged by a swap; the
-                        // two deltas above excluded it symmetrically.
-                        let _ = &mut d;
+                        // profiles counted its endpoints moving apart and
+                        // together, so restore 2·γ_qp·d(from, target).
+                        let d = (attraction(q, target) - a_from)
+                            + (attraction(p, from) - attraction(p, target))
+                            + 2 * weight[q * n + p] * manhattan(cols, from, target) as i64;
                         if best.is_none_or(|(_, _, _, bd)| d < bd) {
                             best = Some((q, Some(p), target, d));
                         }

@@ -13,9 +13,22 @@
 //!   as they use different boundary segments, i.e. paths need only be
 //!   [`Disjointness::Edge`]-disjoint.
 //!
-//! [`Router`] finds shortest conflict-free paths with BFS and records
-//! multi-cycle reservations: a double-defect direct CNOT between equal cut
-//! types holds its path for two cycles, so reservations carry a duration.
+//! [`Router`] finds shortest conflict-free paths with A* (Manhattan
+//! lower bound, FIFO tie-breaking on equal f-scores, so results are
+//! exactly as short as BFS would find and runs are reproducible) over
+//! reusable epoch-marked scratch buffers — a search allocates nothing but
+//! the returned path. Schedulers submit each cycle's requests as one
+//! batch through [`Router::route_ready`], which can also order the batch
+//! by estimated distance ([`Router::route_ready_by_distance`]) so short
+//! paths are laid down before long greedy ones block them.
+//!
+//! Reservations are multi-cycle: a double-defect direct CNOT between equal
+//! cut types holds its path for two cycles, so [`Router::commit`] carries a
+//! duration. Searches take only the current `cycle`: because schedulers
+//! drive the router with nondecreasing cycles and every reservation starts
+//! at the cycle of its commit (never in the future), a resource free *now*
+//! is free forever after — which is why `find_*` need no duration (the
+//! invariant is debug-asserted).
 //!
 //! # Example
 //!
@@ -28,7 +41,7 @@
 //! // Map tiles 0 and 3 (diagonal) and route between them at cycle 0.
 //! router.block_tile(0);
 //! router.block_tile(3);
-//! let path = router.find_tile_path(0, 3, 0, 1).expect("path exists");
+//! let path = router.find_tile_path(0, 3, 0).expect("path exists");
 //! router.commit(&path, 0, 1);
 //! # Ok::<(), ecmas_chip::ChipError>(())
 //! ```
@@ -36,7 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use ecmas_chip::RoutingGrid;
 
@@ -65,9 +79,14 @@ pub struct RouterStats {
     /// Failed path searches — the congestion/conflict count: every `None`
     /// means the current reservations blocked all routes.
     pub conflicts: u64,
-    /// Total BFS cells expanded across all searches (search effort).
+    /// Total A* cells expanded across all searches (search effort).
     pub cells_expanded: u64,
-    /// Total grid edges of every found path (channel occupation proxy).
+    /// Open-list entries left unexpanded when a search found its target
+    /// (superseded duplicate entries included) — an upper bound on the
+    /// expansions the Manhattan heuristic saved versus an exhaustive
+    /// breadth-first search.
+    pub pruned_expansions: u64,
+    /// Total cells of every found path (channel occupation proxy).
     pub path_cells: u64,
 }
 
@@ -80,6 +99,7 @@ impl RouterStats {
             paths_found: self.paths_found + other.paths_found,
             conflicts: self.conflicts + other.conflicts,
             cells_expanded: self.cells_expanded + other.cells_expanded,
+            pruned_expansions: self.pruned_expansions + other.pruned_expansions,
             path_cells: self.path_cells + other.path_cells,
         }
     }
@@ -94,13 +114,42 @@ pub struct Path {
 
 impl Path {
     /// Builds a path from an explicit cell sequence (used by tests and by
-    /// baseline compilers that construct pattern paths directly).
+    /// baseline compilers that construct pattern paths directly),
+    /// verifying against `grid` that consecutive cells are 4-adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two cells are given, or if two consecutive
+    /// cells are not grid-adjacent (e.g. the last cell of one row followed
+    /// by the first cell of the next: index distance 1, but no edge).
+    #[must_use]
+    pub fn from_cells(grid: &RoutingGrid, cells: Vec<usize>) -> Self {
+        assert!(cells.len() >= 2, "a path needs at least its two endpoints");
+        for pair in cells.windows(2) {
+            assert_eq!(
+                grid.manhattan(pair[0], pair[1]),
+                1,
+                "cells {} and {} are not grid-adjacent",
+                pair[0],
+                pair[1]
+            );
+        }
+        Path { cells }
+    }
+
+    /// [`from_cells`](Self::from_cells) without the adjacency check.
+    ///
+    /// Only for constructing *deliberately malformed* paths — the schedule
+    /// validator's mutation tests need paths the router would never emit.
+    /// Anything fed to [`Router::commit`] or
+    /// [`Router::paths_conflict_free`] must be adjacency-clean or edge
+    /// identification will panic.
     ///
     /// # Panics
     ///
     /// Panics if fewer than two cells are given.
     #[must_use]
-    pub fn from_cells(cells: Vec<usize>) -> Self {
+    pub fn from_cells_unchecked(cells: Vec<usize>) -> Self {
         assert!(cells.len() >= 2, "a path needs at least its two endpoints");
         Path { cells }
     }
@@ -131,6 +180,35 @@ impl Path {
     }
 }
 
+/// One entry of a per-cycle routing batch for [`Router::route_ready`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// Source tile slot.
+    pub from_slot: usize,
+    /// Destination tile slot.
+    pub to_slot: usize,
+    /// Cycles the found path is reserved for when committed.
+    pub hold: u64,
+    /// `true` routes (find + commit); `false` probes (find only) —
+    /// schedulers use probes for candidate queries whose commit decision
+    /// depends on other state (the double-defect direct-vs-modify choice).
+    pub commit: bool,
+}
+
+impl RouteRequest {
+    /// A find-and-commit request holding the path for `hold` cycles.
+    #[must_use]
+    pub fn route(from_slot: usize, to_slot: usize, hold: u64) -> Self {
+        RouteRequest { from_slot, to_slot, hold, commit: true }
+    }
+
+    /// A find-only request (no reservation on success).
+    #[must_use]
+    pub fn probe(from_slot: usize, to_slot: usize) -> Self {
+        RouteRequest { from_slot, to_slot, hold: 0, commit: false }
+    }
+}
+
 /// Shortest-path router with per-cycle reservations.
 ///
 /// The router owns the grid plus three layers of state:
@@ -139,9 +217,11 @@ impl Path {
 ///   compilation). Unmapped tile slots are routable channel space.
 /// * node/edge reservations — `free_at[x]` is the first cycle at which `x`
 ///   may be used again. Reservations always start at the scheduler's
-///   current cycle, so a single scalar per resource suffices.
-///
-/// All methods take the current `cycle` and a `duration` in cycles.
+///   current cycle, so a single scalar per resource suffices — and a
+///   search therefore needs no duration: free now means free from now on.
+/// * A* scratch — epoch-marked visit/score/parent arrays plus a reusable
+///   open heap, so a search performs no allocation beyond the returned
+///   path.
 #[derive(Clone, Debug)]
 pub struct Router {
     grid: RoutingGrid,
@@ -149,18 +229,35 @@ pub struct Router {
     blocked: Vec<bool>,
     node_free_at: Vec<u64>,
     edge_free_at: Vec<u64>,
-    // BFS scratch (epoch-marked so it never needs clearing).
+    // A* scratch (epoch-marked so it never needs clearing). The open heap
+    // holds `(f << 32 | seq, cell)` keys: f-score in the high bits, a
+    // per-search push counter in the low bits, so equal-f entries pop in
+    // FIFO order — deterministic, and the first-found path is shortest.
     visit_epoch: Vec<u32>,
+    g_score: Vec<u32>,
     parent: Vec<u32>,
+    open: BinaryHeap<Reverse<(u64, u32)>>,
     epoch: u32,
+    // Highest cycle any search or commit has used — the
+    // reservations-start-now invariant that makes search durations
+    // redundant (checked in debug builds).
+    watermark: u64,
     stats: RouterStats,
 }
 
 impl Router {
     /// Creates a router over `grid` with the given disjointness rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has 2³¹ or more cells: the search encodes cell
+    /// indices as `u32` and f-scores (bounded by `cells + rows + cols`)
+    /// in the high 32 bits of its heap keys, and refuses loudly rather
+    /// than truncating silently.
     #[must_use]
     pub fn new(grid: RoutingGrid, mode: Disjointness) -> Self {
         let n = grid.len();
+        assert!(n < (1 << 31), "routing grid of {n} cells exceeds the router's 32-bit encoding");
         Router {
             grid,
             mode,
@@ -168,8 +265,11 @@ impl Router {
             node_free_at: vec![0; n],
             edge_free_at: vec![0; 2 * n],
             visit_epoch: vec![0; n],
+            g_score: vec![0; n],
             parent: vec![0; n],
+            open: BinaryHeap::new(),
             epoch: 0,
+            watermark: 0,
             stats: RouterStats::default(),
         }
     }
@@ -218,18 +318,31 @@ impl Router {
     }
 
     /// Edge id for the edge between adjacent cells `a` and `b`.
+    ///
+    /// Horizontal edges are `2·lo`, vertical edges `2·lo + 1`. An index
+    /// distance of 1 only means "horizontal neighbor" when `lo` is not the
+    /// last cell of its row — the row-wrap pair (end of row *r*, start of
+    /// row *r+1*) is one apart in index space but is no grid edge, and
+    /// must not silently alias a horizontal id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` and `b` are not 4-adjacent on the grid (in every
+    /// build profile: hand-built pattern paths reach here via
+    /// [`Router::commit`]).
     fn edge_id(&self, a: usize, b: usize) -> usize {
         let (lo, hi) = (a.min(b), a.max(b));
-        debug_assert!(hi - lo == 1 || hi - lo == self.grid.cols(), "cells not adjacent");
-        if hi - lo == 1 {
-            2 * lo // horizontal edge
+        let cols = self.grid.cols();
+        if hi - lo == 1 && (lo % cols) + 1 < cols {
+            2 * lo // horizontal edge within one row
         } else {
+            assert_eq!(hi - lo, cols, "cells {lo} and {hi} are not grid-adjacent");
             2 * lo + 1 // vertical edge
         }
     }
 
     /// Whether a step onto `cell` (interior of a path) is allowed at
-    /// `cycle` for `duration` cycles.
+    /// `cycle`.
     fn cell_available(&self, cell: usize, cycle: u64) -> bool {
         if self.blocked[cell] {
             return false;
@@ -248,9 +361,18 @@ impl Router {
         }
     }
 
+    /// Whether a path may *terminate* on `cell` at `cycle`. Tile cells are
+    /// exempt from reservation checks — they host the gate's operand
+    /// qubits and the scheduler's per-qubit exclusivity covers them — but
+    /// a raw channel cell used as an endpoint competes with path interiors
+    /// and must respect reservations like any other cell.
+    fn endpoint_available(&self, cell: usize, cycle: u64) -> bool {
+        !self.grid.is_free(cell) || self.cell_available(cell, cycle)
+    }
+
     /// Finds a shortest conflict-free path between the cells of two tile
-    /// slots, available for `[cycle, cycle + duration)`. Returns `None`
-    /// when no such path exists in the current congestion state.
+    /// slots, usable from `cycle` on. Returns `None` when no such path
+    /// exists in the current congestion state.
     ///
     /// The endpoints may be blocked (they host the gate's operand qubits);
     /// interior cells must be channel space or unmapped tile slots.
@@ -258,63 +380,108 @@ impl Router {
     /// # Panics
     ///
     /// Panics if the two slots are equal.
-    pub fn find_tile_path(
-        &mut self,
-        from_slot: usize,
-        to_slot: usize,
-        cycle: u64,
-        duration: u64,
-    ) -> Option<Path> {
+    pub fn find_tile_path(&mut self, from_slot: usize, to_slot: usize, cycle: u64) -> Option<Path> {
         assert_ne!(from_slot, to_slot, "cannot route a tile to itself");
         let from = self.grid.tile_cell(from_slot);
         let to = self.grid.tile_cell(to_slot);
-        self.find_cell_path(from, to, cycle, duration)
+        self.find_cell_path(from, to, cycle)
     }
 
     /// [`find_tile_path`](Self::find_tile_path) on raw cell indices.
-    pub fn find_cell_path(
-        &mut self,
-        from: usize,
-        to: usize,
-        cycle: u64,
-        _duration: u64,
-    ) -> Option<Path> {
+    ///
+    /// A* with the Manhattan lower bound: admissible and consistent on the
+    /// 4-connected grid, so the first time the target is generated the
+    /// path is provably shortest (the parent was expanded with minimal
+    /// f = g + h, and h is exactly the remaining-distance bound every
+    /// alternative still has to pay). FIFO tie-breaking on equal f keeps
+    /// expansion order — and therefore the chosen path among equally short
+    /// ones — deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`.
+    pub fn find_cell_path(&mut self, from: usize, to: usize, cycle: u64) -> Option<Path> {
+        assert_ne!(from, to, "cannot route a cell to itself");
+        debug_assert!(
+            cycle >= self.watermark,
+            "searches must use nondecreasing cycles (got {cycle} after {})",
+            self.watermark
+        );
+        self.watermark = cycle;
+        // Endpoints on raw channel cells must respect reservations (tile
+        // endpoints are exempt — see `endpoint_available`).
+        if !self.endpoint_available(from, cycle) || !self.endpoint_available(to, cycle) {
+            self.stats.conflicts += 1;
+            return None;
+        }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             self.visit_epoch.fill(0);
             self.epoch = 1;
         }
         let epoch = self.epoch;
-        let mut queue = VecDeque::new();
+        self.open.clear();
+        let (to_r, to_c) = self.grid.coords(to);
+        let cols = self.grid.cols();
+        let rows = self.grid.rows();
+        let manhattan = |cell: usize| -> u64 {
+            let (r, c) = (cell / cols, cell % cols);
+            (r.abs_diff(to_r) + c.abs_diff(to_c)) as u64
+        };
         self.visit_epoch[from] = epoch;
-        queue.push_back(from);
-        'bfs: while let Some(cur) = queue.pop_front() {
+        self.g_score[from] = 0;
+        let mut seq: u64 = 0;
+        self.open.push(Reverse((manhattan(from) << 32, u32::try_from(from).expect("grid fits"))));
+        let mut found = false;
+        while let Some(Reverse((key, cell))) = self.open.pop() {
+            let cur = cell as usize;
+            let g = u64::from(self.g_score[cur]);
+            if key >> 32 != g + manhattan(cur) {
+                continue; // stale entry: the cell was re-queued with a better g
+            }
             self.stats.cells_expanded += 1;
-            let neighbors: Vec<usize> = self.grid.neighbors(cur).collect();
-            for next in neighbors {
-                if self.visit_epoch[next] == epoch {
-                    continue;
-                }
+            let (r, c) = (cur / cols, cur % cols);
+            let neighbors = [
+                (r > 0).then(|| cur - cols),
+                (r + 1 < rows).then(|| cur + cols),
+                (c > 0).then(|| cur - 1),
+                (c + 1 < cols).then(|| cur + 1),
+            ];
+            for next in neighbors.into_iter().flatten() {
                 if !self.edge_available(cur, next, cycle) {
                     continue;
                 }
                 if next == to {
                     self.visit_epoch[next] = epoch;
                     self.parent[next] = u32::try_from(cur).expect("grid fits in u32");
-                    break 'bfs;
+                    found = true;
+                    break;
                 }
                 if !self.cell_available(next, cycle) {
                     continue;
                 }
+                let ng = self.g_score[cur] + 1;
+                if self.visit_epoch[next] == epoch && self.g_score[next] <= ng {
+                    continue;
+                }
                 self.visit_epoch[next] = epoch;
+                self.g_score[next] = ng;
                 self.parent[next] = u32::try_from(cur).expect("grid fits in u32");
-                queue.push_back(next);
+                seq += 1;
+                debug_assert!(seq < (1 << 32), "push counter overflows its key bits");
+                let f = u64::from(ng) + manhattan(next);
+                self.open.push(Reverse(((f << 32) | seq, u32::try_from(next).expect("grid fits"))));
+            }
+            if found {
+                break;
             }
         }
-        if self.visit_epoch[to] != epoch {
+        if !found {
             self.stats.conflicts += 1;
             return None;
         }
+        // Everything still on the open heap is work the heuristic saved.
+        self.stats.pruned_expansions += self.open.len() as u64;
         let mut cells = vec![to];
         let mut cur = to;
         while cur != from {
@@ -333,6 +500,12 @@ impl Router {
     /// traversed edges are. Endpoint tile cells are never reserved — the
     /// scheduler's per-qubit exclusivity covers them.
     pub fn commit(&mut self, path: &Path, cycle: u64, duration: u64) {
+        debug_assert!(
+            cycle >= self.watermark,
+            "reservations must start at the current cycle (got {cycle} after {})",
+            self.watermark
+        );
+        self.watermark = cycle;
         let until = cycle + duration;
         match self.mode {
             Disjointness::Node => {
@@ -357,8 +530,57 @@ impl Router {
         cycle: u64,
         duration: u64,
     ) -> Option<Path> {
-        let path = self.find_tile_path(from_slot, to_slot, cycle, duration)?;
+        let path = self.find_tile_path(from_slot, to_slot, cycle)?;
         self.commit(&path, cycle, duration);
+        Some(path)
+    }
+
+    /// Routes one clock cycle's batch of requests, in the order given.
+    ///
+    /// Equivalent to looping [`find_tile_path`](Self::find_tile_path) +
+    /// [`commit`](Self::commit) per request — earlier requests' commits are
+    /// visible to later searches, exactly as in sequential routing — but
+    /// hands the router the whole cycle at once, so schedulers stop
+    /// driving the hot path one gate at a time. Outcomes are indexed like
+    /// `requests`; `None` marks a blocked request.
+    pub fn route_ready(&mut self, requests: &[RouteRequest], cycle: u64) -> Vec<Option<Path>> {
+        requests.iter().map(|req| self.route_one(req, cycle)).collect()
+    }
+
+    /// [`route_ready`](Self::route_ready), with the router choosing the
+    /// order: requests are served shortest-estimated-distance first
+    /// (Manhattan between the endpoint tiles, ties in batch order), so a
+    /// long greedy path laid down early cannot block several short ones.
+    /// Outcomes are still indexed by the *original* request positions.
+    pub fn route_ready_by_distance(
+        &mut self,
+        requests: &[RouteRequest],
+        cycle: u64,
+    ) -> Vec<Option<Path>> {
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| self.estimated_distance(requests[i].from_slot, requests[i].to_slot));
+        let mut out = vec![None; requests.len()];
+        for i in order {
+            out[i] = self.route_one(&requests[i], cycle);
+        }
+        out
+    }
+
+    /// The Manhattan lower bound on the path length between two tile
+    /// slots — the estimate [`route_ready_by_distance`] orders by, also
+    /// the A* heuristic.
+    ///
+    /// [`route_ready_by_distance`]: Self::route_ready_by_distance
+    #[must_use]
+    pub fn estimated_distance(&self, from_slot: usize, to_slot: usize) -> usize {
+        self.grid.manhattan(self.grid.tile_cell(from_slot), self.grid.tile_cell(to_slot))
+    }
+
+    fn route_one(&mut self, req: &RouteRequest, cycle: u64) -> Option<Path> {
+        let path = self.find_tile_path(req.from_slot, req.to_slot, cycle)?;
+        if req.commit {
+            self.commit(&path, cycle, req.hold);
+        }
         Some(path)
     }
 
@@ -367,6 +589,7 @@ impl Router {
     pub fn clear_reservations(&mut self) {
         self.node_free_at.fill(0);
         self.edge_free_at.fill(0);
+        self.watermark = 0;
     }
 
     /// Checks that a set of `(path, start, duration)` triples is mutually
@@ -437,7 +660,7 @@ mod tests {
         let mut r = router(1, 2, 1, Disjointness::Node);
         r.block_tile(0);
         r.block_tile(1);
-        let p = r.find_tile_path(0, 1, 0, 1).expect("path");
+        let p = r.find_tile_path(0, 1, 0).expect("path");
         // Tiles at (1,1) and (1,3): shortest path length 2 edges via (1,2).
         assert_eq!(p.len(), 2);
         assert_eq!(p.interior().len(), 1);
@@ -451,7 +674,7 @@ mod tests {
         for t in 0..3 {
             r.block_tile(t);
         }
-        let p = r.find_tile_path(0, 2, 0, 1).expect("path around");
+        let p = r.find_tile_path(0, 2, 0).expect("path around");
         let mid = r.grid().tile_cell(1);
         assert!(!p.cells().contains(&mid), "path must avoid the mapped middle tile");
         assert!(p.len() > 4, "detour is longer than the straight line");
@@ -463,7 +686,7 @@ mod tests {
         r.block_tile(0);
         r.block_tile(2);
         // Tile slot 1 unmapped ⇒ the straight path through it is legal.
-        let p = r.find_tile_path(0, 2, 0, 1).expect("straight path");
+        let p = r.find_tile_path(0, 2, 0).expect("straight path");
         assert_eq!(p.len(), 4);
     }
 
@@ -486,7 +709,7 @@ mod tests {
             &[(&p1, 0, 1), (&p2, 0, 1)]
         ));
         // Next cycle the straight route is free again.
-        let p3 = r.find_tile_path(1, 2, 1, 1).expect("straight next cycle");
+        let p3 = r.find_tile_path(1, 2, 1).expect("straight next cycle");
         assert_eq!(p3.len(), 4);
     }
 
@@ -496,8 +719,8 @@ mod tests {
         // a 2×2 array's junction: a braid conflict, a legal EDP crossing.
         let r = router(2, 2, 1, Disjointness::Node);
         let g = r.grid();
-        let vertical = Path::from_cells(vec![g.index(1, 2), g.index(2, 2), g.index(3, 2)]);
-        let horizontal = Path::from_cells(vec![g.index(2, 1), g.index(2, 2), g.index(2, 3)]);
+        let vertical = Path::from_cells(g, vec![g.index(1, 2), g.index(2, 2), g.index(3, 2)]);
+        let horizontal = Path::from_cells(g, vec![g.index(2, 1), g.index(2, 2), g.index(2, 3)]);
         assert!(!Router::paths_conflict_free(
             g,
             Disjointness::Node,
@@ -508,6 +731,31 @@ mod tests {
             Disjointness::Edge,
             &[(&vertical, 0, 1), (&horizontal, 0, 1)]
         ));
+    }
+
+    #[test]
+    #[should_panic(expected = "not grid-adjacent")]
+    fn from_cells_rejects_row_wrap_neighbors() {
+        // End of row 1 and start of row 2 are one apart in index space but
+        // share no grid edge — the aliasing pair the old edge-id scheme
+        // silently accepted.
+        let r = router(1, 2, 1, Disjointness::Edge);
+        let g = r.grid();
+        let last = g.index(1, g.cols() - 1);
+        let wrapped = g.index(2, 0);
+        assert_eq!(wrapped - last, 1, "the wrap pair is index-adjacent");
+        let _ = Path::from_cells(g, vec![last, wrapped]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not grid-adjacent")]
+    fn committing_a_wrap_pair_panics_instead_of_aliasing() {
+        let mut r = router(1, 2, 1, Disjointness::Edge);
+        let g = r.grid();
+        let last = g.index(1, g.cols() - 1);
+        let wrapped = g.index(2, 0);
+        let bogus = Path::from_cells_unchecked(vec![last, wrapped]);
+        r.commit(&bogus, 0, 1);
     }
 
     #[test]
@@ -522,8 +770,8 @@ mod tests {
         for k in 0..3 {
             assert!(r.route_tiles(0, 1, 0, 1).is_some(), "route {k} fits");
         }
-        assert!(r.find_tile_path(0, 1, 0, 1).is_none(), "fourth route must fail");
-        assert!(r.find_tile_path(0, 1, 1, 1).is_some(), "free next cycle");
+        assert!(r.find_tile_path(0, 1, 0).is_none(), "fourth route must fail");
+        assert!(r.find_tile_path(0, 1, 1).is_some(), "free next cycle");
     }
 
     #[test]
@@ -533,7 +781,7 @@ mod tests {
             r.block_tile(t);
         }
         let p1 = r.route_tiles(0, 3, 0, 1).expect("first diagonal");
-        let p2 = r.find_tile_path(1, 2, 0, 1).expect("crossing allowed in edge mode");
+        let p2 = r.find_tile_path(1, 2, 0).expect("crossing allowed in edge mode");
         assert!(Router::paths_conflict_free(
             r.grid(),
             Disjointness::Edge,
@@ -563,14 +811,14 @@ mod tests {
         let mut r = router(1, 2, 1, Disjointness::Node);
         r.block_tile(0);
         r.block_tile(1);
-        let p = r.find_tile_path(0, 1, 0, 2).expect("path");
+        let p = r.find_tile_path(0, 1, 0).expect("path");
         r.commit(&p, 0, 2);
         // The straight lane cell is reserved for cycles 0 and 1; another
         // path exists via the boundary lanes, but the straight one is out.
-        let p2 = r.find_tile_path(0, 1, 1, 1).expect("detour");
+        let p2 = r.find_tile_path(0, 1, 1).expect("detour");
         assert!(p2.len() > p.len());
         // At cycle 2 the straight path is free again.
-        let p3 = r.find_tile_path(0, 1, 2, 1).expect("straight again");
+        let p3 = r.find_tile_path(0, 1, 2).expect("straight again");
         assert_eq!(p3.len(), p.len());
     }
 
@@ -581,7 +829,7 @@ mod tests {
         r.block_tile(1);
         let p = r.route_tiles(0, 1, 0, 100).expect("path");
         r.clear_reservations();
-        let p2 = r.find_tile_path(0, 1, 0, 1).expect("path after clear");
+        let p2 = r.find_tile_path(0, 1, 0).expect("path after clear");
         assert_eq!(p.len(), p2.len());
     }
 
@@ -591,7 +839,7 @@ mod tests {
         for t in 0..4 {
             r.block_tile(t);
         }
-        let p1 = r.find_tile_path(0, 3, 0, 1).expect("path");
+        let p1 = r.find_tile_path(0, 3, 0).expect("path");
         // Same path twice at the same cycle conflicts in node mode...
         assert!(!Router::paths_conflict_free(
             r.grid(),
@@ -614,7 +862,7 @@ mod tests {
         for _ in 0..3 {
             assert!(r.route_tiles(0, 1, 0, 1).is_some());
         }
-        assert!(r.find_tile_path(0, 1, 0, 1).is_none(), "saturated");
+        assert!(r.find_tile_path(0, 1, 0).is_none(), "saturated");
         let s = r.stats();
         assert_eq!(s.paths_found, 3);
         assert_eq!(s.conflicts, 1);
@@ -625,6 +873,24 @@ mod tests {
         let merged = s.merged(s);
         assert_eq!(merged.paths_found, 6);
         assert_eq!(merged.conflicts, 2);
+        assert_eq!(merged.pruned_expansions, 2 * s.pruned_expansions);
+    }
+
+    #[test]
+    fn astar_expands_no_more_than_the_grid_and_prunes_on_detours() {
+        // On an open 3×3 array, a corner-to-corner route leaves off-path
+        // frontier entries unexpanded: the heuristic must prune something.
+        let mut r = router(3, 3, 1, Disjointness::Node);
+        r.block_tile(0);
+        r.block_tile(8);
+        let p = r.find_tile_path(0, 8, 0).expect("path");
+        let s = r.stats();
+        assert_eq!(p.len(), r.estimated_distance(0, 8), "uncongested ⇒ Manhattan-optimal");
+        assert!(s.pruned_expansions > 0, "open frontier left behind");
+        assert!(
+            s.cells_expanded < r.grid().len() as u64,
+            "A* must not expand the whole grid on an uncongested search"
+        );
     }
 
     #[test]
@@ -645,7 +911,165 @@ mod tests {
         }
         // At bandwidth 1 not all of these fit simultaneously.
         assert!(failures > 0, "bandwidth-1 chip should congest");
-        assert!(r.find_tile_path(1, 7, 1, 1).is_some(), "free again at cycle 1");
+        assert!(r.find_tile_path(1, 7, 1).is_some(), "free again at cycle 1");
+    }
+
+    #[test]
+    fn free_cell_target_respects_reservations() {
+        // Route 0→3 through the central junction, then ask for a path
+        // *ending on* that reserved junction cell in the same cycle: the
+        // old BFS early exit skipped the availability check and happily
+        // terminated on another path's cell.
+        let mut r = router(2, 2, 1, Disjointness::Node);
+        for t in 0..4 {
+            r.block_tile(t);
+        }
+        let center = r.grid().index(2, 2);
+        let p1 = r.route_tiles(0, 3, 0, 1).expect("diagonal");
+        assert!(p1.cells().contains(&center), "the diagonal uses the junction");
+        let start = r.grid().tile_cell(1);
+        assert!(
+            r.find_cell_path(start, center, 0).is_none(),
+            "a reserved channel cell must not terminate a node-mode path"
+        );
+        // Tile endpoints stay exempt: routing to the (blocked) tile 2 from
+        // tile 1 is still legal this cycle if a clear route exists.
+        assert!(r.find_tile_path(1, 2, 0).is_some(), "tile targets keep the exemption");
+        // And the channel cell is a fine target again once the hold ends.
+        let p2 = r.find_cell_path(start, center, 1).expect("free next cycle");
+        assert_eq!(*p2.cells().last().unwrap(), center);
+    }
+
+    #[test]
+    fn free_cell_target_conflicts_count_and_validate() {
+        // The regression promised in the issue: with the target check in
+        // place, node-mode cell routes never produce conflicting paths.
+        let mut r = router(2, 2, 1, Disjointness::Node);
+        for t in 0..4 {
+            r.block_tile(t);
+        }
+        let center = r.grid().index(2, 2);
+        let p1 = r.route_tiles(0, 3, 0, 1).expect("diagonal");
+        let start = r.grid().tile_cell(1);
+        let before = r.stats().conflicts;
+        assert!(r.find_cell_path(start, center, 0).is_none());
+        assert_eq!(r.stats().conflicts, before + 1, "the blocked target is a conflict");
+        // Next cycle's path to the same cell coexists with the first
+        // path's one-cycle reservation.
+        let p2 = r.find_cell_path(start, center, 1).expect("path");
+        assert!(Router::paths_conflict_free(
+            r.grid(),
+            Disjointness::Node,
+            &[(&p1, 0, 1), (&p2, 1, 1)]
+        ));
+    }
+
+    #[test]
+    fn route_ready_matches_sequential_routing() {
+        let reqs = [
+            RouteRequest::route(0, 3, 1),
+            RouteRequest::probe(1, 2),
+            RouteRequest::route(1, 2, 1),
+            RouteRequest::route(2, 1, 1),
+        ];
+        let mut batched = router(2, 2, 1, Disjointness::Node);
+        let mut sequential = router(2, 2, 1, Disjointness::Node);
+        for t in 0..4 {
+            batched.block_tile(t);
+            sequential.block_tile(t);
+        }
+        let got = batched.route_ready(&reqs, 0);
+        let want: Vec<Option<Path>> = reqs
+            .iter()
+            .map(|req| {
+                let p = sequential.find_tile_path(req.from_slot, req.to_slot, 0)?;
+                if req.commit {
+                    sequential.commit(&p, 0, req.hold);
+                }
+                Some(p)
+            })
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(batched.stats(), sequential.stats());
+        // The probe reserved nothing; the commit right after it did.
+        assert!(got[1].is_some() && got[2].is_some());
+    }
+
+    #[test]
+    fn route_ready_by_distance_serves_short_requests_first() {
+        // On a 1×3 row with tiles 0,1,2 mapped, the long 0→2 request
+        // hogs a boundary lane if served first. Distance ordering routes
+        // the short 0→1 and 1→2 pairs before it.
+        let mut r = router(1, 3, 1, Disjointness::Node);
+        for t in 0..3 {
+            r.block_tile(t);
+        }
+        let reqs = [
+            RouteRequest::route(0, 2, 1),
+            RouteRequest::route(0, 1, 1),
+            RouteRequest::route(1, 2, 1),
+        ];
+        let out = r.route_ready_by_distance(&reqs, 0);
+        let short01 = out[1].as_ref().expect("short pair routes");
+        let short12 = out[2].as_ref().expect("short pair routes");
+        assert_eq!(short01.len(), 2, "served before the long request could block it");
+        assert_eq!(short12.len(), 2, "served before the long request could block it");
+        // Outcomes are reported at the original positions.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn astar_paths_are_as_short_as_bfs_on_congested_grids() {
+        // Deterministic congestion sweep: commit a few paths, then check
+        // every remaining pair against a reference BFS run on a clone.
+        for mode in [Disjointness::Node, Disjointness::Edge] {
+            let mut r = router(3, 3, 1, mode);
+            for t in 0..9 {
+                r.block_tile(t);
+            }
+            r.route_tiles(0, 8, 0, 1);
+            r.route_tiles(2, 6, 0, 1);
+            for (a, b) in [(1, 7), (3, 5), (0, 4), (4, 8), (1, 5), (3, 7)] {
+                let bfs_len = reference_bfs_len(&r, a, b, 0);
+                let astar = r.clone().find_tile_path(a, b, 0).map(|p| p.len());
+                assert_eq!(astar, bfs_len, "{mode:?} {a}->{b}");
+            }
+        }
+    }
+
+    /// Reference shortest-path oracle: plain BFS over the router's own
+    /// availability predicates (clone-probed, so no reservations change).
+    fn reference_bfs_len(
+        r: &Router,
+        from_slot: usize,
+        to_slot: usize,
+        cycle: u64,
+    ) -> Option<usize> {
+        let grid = r.grid();
+        let (from, to) = (grid.tile_cell(from_slot), grid.tile_cell(to_slot));
+        if !r.endpoint_available(from, cycle) || !r.endpoint_available(to, cycle) {
+            return None;
+        }
+        let mut dist = vec![usize::MAX; grid.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[from] = 0;
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            for next in grid.neighbors(cur) {
+                if dist[next] != usize::MAX || !r.edge_available(cur, next, cycle) {
+                    continue;
+                }
+                if next == to {
+                    return Some(dist[cur] + 1);
+                }
+                if !r.cell_available(next, cycle) {
+                    continue;
+                }
+                dist[next] = dist[cur] + 1;
+                queue.push_back(next);
+            }
+        }
+        None
     }
 }
 
@@ -681,7 +1105,7 @@ mod edp_tests {
         r.block_tile(0);
         r.block_tile(1);
         let p = r.route_tiles(0, 1, 0, 1).expect("path");
-        let p_next = r.find_tile_path(0, 1, 1, 1).expect("next cycle free");
+        let p_next = r.find_tile_path(0, 1, 1).expect("next cycle free");
         assert_eq!(p.len(), p_next.len());
     }
 
@@ -691,7 +1115,7 @@ mod edp_tests {
         for t in 0..3 {
             r.block_tile(t);
         }
-        let p = r.find_tile_path(0, 2, 0, 1).expect("path");
+        let p = r.find_tile_path(0, 2, 0).expect("path");
         let mid = r.grid().tile_cell(1);
         assert!(!p.cells().contains(&mid));
     }
@@ -701,7 +1125,7 @@ mod edp_tests {
         let mut r = ls_router(2, 2, 1);
         r.block_tile(0);
         r.block_tile(3);
-        let p = r.find_tile_path(0, 3, 0, 1).expect("path");
+        let p = r.find_tile_path(0, 3, 0).expect("path");
         assert_eq!(p.cells().len(), p.len() + 1);
         assert_eq!(p.interior().len(), p.cells().len() - 2);
         assert!(!p.is_empty());
@@ -712,8 +1136,8 @@ mod edp_tests {
         let mut r = ls_router(1, 2, 1);
         r.block_tile(0);
         r.block_tile(1);
-        let a = r.find_tile_path(0, 1, 0, 1).expect("a");
-        let b = r.find_tile_path(0, 1, 0, 1).expect("b");
+        let a = r.find_tile_path(0, 1, 0).expect("a");
+        let b = r.find_tile_path(0, 1, 0).expect("b");
         assert_eq!(a, b, "find_tile_path must not reserve anything");
     }
 }

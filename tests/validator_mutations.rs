@@ -106,7 +106,7 @@ fn teleporting_path_is_caught() {
     let gate = circuit.cnot_gates()[3];
     let from = grid.tile_cell(enc.mapping()[gate.control]);
     let to = grid.tile_cell(enc.mapping()[gate.target]);
-    e.kind = EventKind::LatticeCnot { path: Path::from_cells(vec![from, to]) };
+    e.kind = EventKind::LatticeCnot { path: Path::from_cells_unchecked(vec![from, to]) };
     let bad = rebuild(&enc, None, None, events);
     assert!(matches!(validate_encoded(&circuit, &bad), Err(ValidateError::MalformedPath { .. })));
 }
@@ -155,7 +155,7 @@ fn path_through_mapped_tile_is_caught() {
         return; // mapping did not put a tile in the way; nothing to inject
     }
     let e = events.iter_mut().find(|e| e.gate == Some(2)).unwrap();
-    e.kind = EventKind::LatticeCnot { path: Path::from_cells(cells) };
+    e.kind = EventKind::LatticeCnot { path: Path::from_cells(&grid, cells) };
     let bad = rebuild(&enc, None, None, events);
     assert!(matches!(validate_encoded(&circuit, &bad), Err(ValidateError::MalformedPath { .. })));
 }
@@ -170,20 +170,26 @@ fn overlapping_paths_are_caught() {
     let chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
     let grid = chip.grid();
     let mapping = vec![0, 3, 1, 2];
-    let p0 = Path::from_cells(vec![
-        grid.tile_cell(0),
-        grid.index(1, 2),
-        grid.index(2, 2),
-        grid.index(3, 2),
-        grid.tile_cell(3),
-    ]);
-    let p1 = Path::from_cells(vec![
-        grid.tile_cell(1),
-        grid.index(2, 3),
-        grid.index(2, 2),
-        grid.index(2, 1),
-        grid.tile_cell(2),
-    ]);
+    let p0 = Path::from_cells(
+        &grid,
+        vec![
+            grid.tile_cell(0),
+            grid.index(1, 2),
+            grid.index(2, 2),
+            grid.index(3, 2),
+            grid.tile_cell(3),
+        ],
+    );
+    let p1 = Path::from_cells(
+        &grid,
+        vec![
+            grid.tile_cell(1),
+            grid.index(2, 3),
+            grid.index(2, 2),
+            grid.index(2, 1),
+            grid.tile_cell(2),
+        ],
+    );
     let bad = EncodedCircuit::new(
         chip,
         mapping,

@@ -15,9 +15,41 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results of every benchmark run so far, for the optional JSON dump.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// Writes all recorded results as a JSON array to the path named by the
+/// `CRITERION_JSON` environment variable, if set. Called automatically at
+/// the end of [`criterion_main!`]; harnesses (CI) use it to archive the
+/// perf trajectory as build artifacts.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results mutex");
+    let mut out = String::from("[\n");
+    for (i, (id, nanos, iters)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        // Benchmark ids are plain identifiers; escape the two JSON
+        // specials anyway so hand-written labels cannot corrupt the file.
+        let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"id\":\"{id}\",\"ns_per_iter\":{nanos:.1},\"iters\":{iters}}}{sep}\n"
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {} benchmark results to {path}", results.len());
+}
 
 /// Times closures handed to it by a benchmark function.
 #[derive(Debug, Default)]
@@ -79,7 +111,14 @@ fn run_one(id: &str, measurement_time: Duration, f: &mut dyn FnMut(&mut Bencher)
     let mut bencher = Bencher { last: None, measurement_time };
     f(&mut bencher);
     match bencher.last {
-        Some(m) => println!("{id:<48} {} /iter  ({} iters)", human_time(m.nanos_per_iter), m.iters),
+        Some(m) => {
+            println!("{id:<48} {} /iter  ({} iters)", human_time(m.nanos_per_iter), m.iters);
+            RESULTS.lock().expect("results mutex").push((
+                id.to_string(),
+                m.nanos_per_iter,
+                m.iters,
+            ));
+        }
         None => println!("{id:<48} (no measurement: bencher.iter never called)"),
     }
 }
@@ -171,12 +210,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `fn main` running the listed groups.
+/// Emits `fn main` running the listed groups, then dumping JSON results
+/// when `CRITERION_JSON` names a file.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }

@@ -2,19 +2,21 @@
 //! (Trivial / Metis / Ours), first on the minimum viable lattice-surgery
 //! chip (the paper's configuration — no spread: everything schedules at
 //! the depth bound), then on the congested chip where placement actually
-//! discriminates.
+//! discriminates. All cells fan out across cores through the service
+//! layer (`ecmas::compile_jobs`).
 
-use ecmas_bench::{print_rows, table2_row, table2_row_congested};
+use ecmas_bench::{print_rows, table2_plan, table2_plan_congested, table_rows};
 
 fn main() {
     let suite = ecmas_circuit::benchmarks::ablation_suite();
-    let rows: Vec<_> = suite.iter().map(table2_row).collect();
+    let rows = table_rows(&suite, table2_plan);
     print_rows("Table II: comparison of location initialization methods (cycles)", &rows);
     println!();
-    let mut rows: Vec<_> = suite.iter().map(table2_row_congested).collect();
     // The ablation suite ties even here (the A* router resolves its
     // congestion under every knob setting); qft_n50's all-to-all traffic
     // is what actually saturates the congested chip.
-    rows.push(table2_row_congested(&ecmas_circuit::benchmarks::qft_n50()));
+    let mut congested = suite;
+    congested.push(ecmas_circuit::benchmarks::qft_n50());
+    let rows = table_rows(&congested, table2_plan_congested);
     print_rows("Table II (congested chip): 2x-side tile array, bandwidth-1 channels", &rows);
 }

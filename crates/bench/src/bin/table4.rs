@@ -2,19 +2,21 @@
 //! (Circuit-order / Ours), first on the minimum viable lattice-surgery
 //! chip (the paper's configuration — no spread: everything schedules at
 //! the depth bound), then on the congested chip where the gate order
-//! actually discriminates.
+//! actually discriminates. All cells fan out across cores through the
+//! service layer (`ecmas::compile_jobs`).
 
-use ecmas_bench::{print_rows, table4_row, table4_row_congested};
+use ecmas_bench::{print_rows, table4_plan, table4_plan_congested, table_rows};
 
 fn main() {
     let suite = ecmas_circuit::benchmarks::ablation_suite();
-    let rows: Vec<_> = suite.iter().map(table4_row).collect();
+    let rows = table_rows(&suite, table4_plan);
     print_rows("Table IV: comparison of gate scheduling algorithms (cycles)", &rows);
     println!();
-    let mut rows: Vec<_> = suite.iter().map(table4_row_congested).collect();
     // The ablation suite ties even here (the A* router resolves its
     // congestion under every knob setting); qft_n50's all-to-all traffic
     // is what actually saturates the congested chip.
-    rows.push(table4_row_congested(&ecmas_circuit::benchmarks::qft_n50()));
+    let mut congested = suite;
+    congested.push(ecmas_circuit::benchmarks::qft_n50());
+    let rows = table_rows(&congested, table4_plan_congested);
     print_rows("Table IV (congested chip): 2x-side tile array, bandwidth-1 channels", &rows);
 }

@@ -19,10 +19,13 @@
 //! | `fig12` | Fig. 12 — cycles & compile-time ratio vs chip size |
 //!
 //! Every compiler is driven through the workspace-wide [`Compiler`]
-//! trait, and the random-circuit experiments (`fig11`/`fig12`) fan their
-//! independent sample compilations across cores with [`compile_batch`] —
-//! results are bit-identical to a sequential loop (every compiler is
-//! deterministic), only the wall clock changes.
+//! trait, and every experiment fans out over the `ecmas-serve` service
+//! layer: the random-circuit experiments (`fig11`/`fig12`) batch their
+//! sample compilations with [`compile_batch`], and the `table1`–`table5`
+//! binaries flatten *all* their rows' cells — each with its own compiler
+//! and per-circuit chip — into one heterogeneous [`compile_jobs`] fan-out
+//! ([`table_rows`]). Results are bit-identical to a sequential loop
+//! (every compiler is deterministic), only the wall clock changes.
 //!
 //! The criterion benches (`cargo bench`) measure compile-time scaling —
 //! the paper's efficiency claim — on the same workloads.
@@ -31,8 +34,8 @@
 #![warn(missing_docs)]
 
 use ecmas::{
-    compile_batch, validate_encoded, CompileOutcome, Compiler, CutInitStrategy, CutPolicy, Ecmas,
-    EcmasConfig, GateOrder, LocationStrategy,
+    compile_batch, compile_jobs, validate_encoded, BatchJob, CompileError, CompileOutcome,
+    Compiler, CutInitStrategy, CutPolicy, Ecmas, EcmasConfig, GateOrder, LocationStrategy,
 };
 use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};
@@ -156,157 +159,287 @@ pub fn run_edpci(circuit: &Circuit, chip: &Chip) -> u64 {
     run_compiler(&Edpci::new(), circuit, chip).encoded.cycles()
 }
 
-/// Table I: the full overview comparison for one circuit.
+/// One planned table cell: which compiler to run on which chip. The
+/// chips are sized per circuit (that is why the tables cannot ride the
+/// single-chip [`compile_batch`] shape and fan out over
+/// [`compile_jobs`] instead).
+pub struct Cell {
+    /// Column label.
+    pub label: &'static str,
+    /// The compiler this cell measures.
+    pub compiler: Box<dyn Compiler + Sync>,
+    /// The chip it runs on.
+    pub chip: Chip,
+}
+
+impl Cell {
+    fn new(label: &'static str, compiler: impl Compiler + Sync + 'static, chip: Chip) -> Self {
+        Cell { label, compiler: Box::new(compiler), chip }
+    }
+}
+
+/// `Ecmas` driven through Algorithm 2 (Ecmas-ReSu) instead of the
+/// [`Compiler`] trait's default Algorithm 1 pipeline — the Table I
+/// "ReSu" column as a trait object.
+struct ResuCompiler(Ecmas);
+
+impl Compiler for ResuCompiler {
+    fn name(&self) -> &'static str {
+        "ecmas-resu"
+    }
+
+    fn compile_outcome(
+        &self,
+        circuit: &Circuit,
+        chip: &Chip,
+    ) -> Result<CompileOutcome, CompileError> {
+        Ok(self.0.session(circuit, chip)?.map()?.schedule_resu()?.into_outcome())
+    }
+}
+
+fn row_shell(circuit: &Circuit, cells: Vec<(&'static str, u64)>) -> Row {
+    Row {
+        name: circuit.name().to_string(),
+        n: circuit.qubits(),
+        alpha: circuit.depth(),
+        g: circuit.cnot_count(),
+        cells,
+    }
+}
+
+/// Builds every row of a table by flattening all `(circuit, cell)` pairs
+/// of the whole suite into one heterogeneous service fan-out
+/// ([`compile_jobs`]): rows and columns compile concurrently across
+/// cores, every schedule is validated, and the assembled rows are
+/// bit-identical to the sequential per-row loop.
+///
+/// # Panics
+///
+/// As [`run_compiler`]: a failed compilation or invalid schedule is an
+/// experiment-infrastructure bug.
 #[must_use]
-pub fn table1_row(circuit: &Circuit) -> Row {
+pub fn table_rows(suite: &[Circuit], plan: impl Fn(&Circuit) -> Vec<Cell>) -> Vec<Row> {
+    let plans: Vec<Vec<Cell>> = suite.iter().map(&plan).collect();
+    let jobs: Vec<BatchJob<'_>> = suite
+        .iter()
+        .zip(&plans)
+        .flat_map(|(circuit, cells)| {
+            cells.iter().map(move |cell| BatchJob {
+                compiler: &*cell.compiler,
+                circuit,
+                chip: &cell.chip,
+            })
+        })
+        .collect();
+    let mut outcomes = compile_jobs(&jobs).into_iter();
+    suite
+        .iter()
+        .zip(&plans)
+        .map(|(circuit, cells)| {
+            let measured = cells
+                .iter()
+                .map(|cell| {
+                    let outcome =
+                        outcomes.next().expect("one outcome per job").unwrap_or_else(|e| {
+                            panic!("{}: {} compile failed: {e}", circuit.name(), cell.label)
+                        });
+                    validate_encoded(circuit, &outcome.encoded).unwrap_or_else(|e| {
+                        panic!("{}: invalid {} schedule: {e}", circuit.name(), cell.label)
+                    });
+                    (cell.label, outcome.encoded.cycles())
+                })
+                .collect();
+            row_shell(circuit, measured)
+        })
+        .collect()
+}
+
+fn row_sequential(circuit: &Circuit, cells: &[Cell]) -> Row {
+    let measured = cells
+        .iter()
+        .map(|cell| {
+            (cell.label, run_compiler(&*cell.compiler, circuit, &cell.chip).encoded.cycles())
+        })
+        .collect();
+    row_shell(circuit, measured)
+}
+
+/// Table I plan: the full overview comparison for one circuit.
+///
+/// # Panics
+///
+/// Panics if a chip cannot be constructed.
+#[must_use]
+pub fn table1_plan(circuit: &Circuit) -> Vec<Cell> {
     let n = circuit.qubits();
     let dd_min = Chip::min_viable(CodeModel::DoubleDefect, n, 3).expect("chip");
     let ls_min = Chip::min_viable(CodeModel::LatticeSurgery, n, 3).expect("chip");
     let ls_4x = Chip::four_x(CodeModel::LatticeSurgery, n, 3).expect("chip");
-    let cells = vec![
-        ("AutoBraid Min", run_autobraid(circuit, &dd_min)),
-        ("Ecmas-dd Min", run_ecmas(circuit, &dd_min, EcmasConfig::default())),
-        ("Ecmas-dd ReSu", run_ecmas_resu(circuit, CodeModel::DoubleDefect)),
-        ("EDPCI Min", run_edpci(circuit, &ls_min)),
-        ("EDPCI 4X", run_edpci(circuit, &ls_4x)),
-        ("Ecmas-ls Min", run_ecmas(circuit, &ls_min, EcmasConfig::default())),
-        ("Ecmas-ls 4X", run_ecmas(circuit, &ls_4x, EcmasConfig::default())),
-    ];
-    Row {
-        name: circuit.name().to_string(),
-        n,
-        alpha: circuit.depth(),
-        g: circuit.cnot_count(),
-        cells,
-    }
+    let gpm = ecmas::para_finding(&circuit.dag()).gpm();
+    let dd_sufficient = Chip::sufficient(CodeModel::DoubleDefect, n, gpm.max(1), 3).expect("chip");
+    vec![
+        Cell::new("AutoBraid Min", AutoBraid::new(), dd_min.clone()),
+        Cell::new("Ecmas-dd Min", Ecmas::default(), dd_min),
+        Cell::new("Ecmas-dd ReSu", ResuCompiler(Ecmas::default()), dd_sufficient),
+        Cell::new("EDPCI Min", Edpci::new(), ls_min.clone()),
+        Cell::new("EDPCI 4X", Edpci::new(), ls_4x.clone()),
+        Cell::new("Ecmas-ls Min", Ecmas::default(), ls_min),
+        Cell::new("Ecmas-ls 4X", Ecmas::default(), ls_4x),
+    ]
 }
 
-/// Table II: location-initialization ablation (lattice surgery, min chip).
+/// Table I: one row, compiled sequentially (the binaries fan whole
+/// tables out with [`table_rows`]).
 #[must_use]
-pub fn table2_row(circuit: &Circuit) -> Row {
-    let n = circuit.qubits();
-    let chip = Chip::min_viable(CodeModel::LatticeSurgery, n, 3).expect("chip");
-    let with_location = |location| EcmasConfig { location, ..EcmasConfig::default() };
-    let cells = vec![
-        ("Trivial", run_ecmas(circuit, &chip, with_location(LocationStrategy::Trivial))),
-        (
-            "Metis",
-            run_ecmas(circuit, &chip, with_location(LocationStrategy::Partitioner { seed: 11 })),
-        ),
-        ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
-    ];
-    Row {
-        name: circuit.name().to_string(),
-        n,
-        alpha: circuit.depth(),
-        g: circuit.cnot_count(),
-        cells,
-    }
+pub fn table1_row(circuit: &Circuit) -> Row {
+    row_sequential(circuit, &table1_plan(circuit))
 }
 
-/// [`table2_row`] on the congested chip (double-side tile array, every
+fn location_plan(chip: Chip) -> Vec<Cell> {
+    let with_location = |location| EcmasConfig { location, ..EcmasConfig::default() };
+    vec![
+        Cell::new("Trivial", Ecmas::new(with_location(LocationStrategy::Trivial)), chip.clone()),
+        Cell::new(
+            "Metis",
+            Ecmas::new(with_location(LocationStrategy::Partitioner { seed: 11 })),
+            chip.clone(),
+        ),
+        Cell::new("Ours", Ecmas::default(), chip),
+    ]
+}
+
+/// Table II plan: location-initialization ablation (lattice surgery, min
+/// chip).
+///
+/// # Panics
+///
+/// Panics if a chip cannot be constructed.
+#[must_use]
+pub fn table2_plan(circuit: &Circuit) -> Vec<Cell> {
+    let chip = Chip::min_viable(CodeModel::LatticeSurgery, circuit.qubits(), 3).expect("chip");
+    location_plan(chip)
+}
+
+/// [`table2_plan`] on the congested chip (double-side tile array, every
 /// channel at the bandwidth-1 floor): the configuration where placement
 /// actually discriminates — min-viable chips schedule the whole ablation
 /// suite at the depth bound regardless of location strategy.
+///
+/// # Panics
+///
+/// Panics if a chip cannot be constructed.
+#[must_use]
+pub fn table2_plan_congested(circuit: &Circuit) -> Vec<Cell> {
+    let chip = Chip::congested(CodeModel::LatticeSurgery, circuit.qubits(), 3).expect("chip");
+    location_plan(chip)
+}
+
+/// Table II: one row, compiled sequentially.
+#[must_use]
+pub fn table2_row(circuit: &Circuit) -> Row {
+    row_sequential(circuit, &table2_plan(circuit))
+}
+
+/// Table II (congested chip): one row, compiled sequentially.
 #[must_use]
 pub fn table2_row_congested(circuit: &Circuit) -> Row {
-    let n = circuit.qubits();
-    let chip = Chip::congested(CodeModel::LatticeSurgery, n, 3).expect("chip");
-    let with_location = |location| EcmasConfig { location, ..EcmasConfig::default() };
-    let cells = vec![
-        ("Trivial", run_ecmas(circuit, &chip, with_location(LocationStrategy::Trivial))),
-        (
-            "Metis",
-            run_ecmas(circuit, &chip, with_location(LocationStrategy::Partitioner { seed: 11 })),
-        ),
-        ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
-    ];
-    Row {
-        name: circuit.name().to_string(),
-        n,
-        alpha: circuit.depth(),
-        g: circuit.cnot_count(),
-        cells,
-    }
+    row_sequential(circuit, &table2_plan_congested(circuit))
 }
 
-/// Table III: cut-type-initialization ablation (double defect, min chip).
+/// Table III plan: cut-type-initialization ablation (double defect, min
+/// chip).
+///
+/// # Panics
+///
+/// Panics if a chip cannot be constructed.
+#[must_use]
+pub fn table3_plan(circuit: &Circuit) -> Vec<Cell> {
+    let chip = Chip::min_viable(CodeModel::DoubleDefect, circuit.qubits(), 3).expect("chip");
+    let with_init = |cut_init| EcmasConfig { cut_init, ..EcmasConfig::default() };
+    vec![
+        Cell::new(
+            "Random",
+            Ecmas::new(with_init(CutInitStrategy::Random { seed: 23 })),
+            chip.clone(),
+        ),
+        Cell::new(
+            "Max-cut",
+            Ecmas::new(with_init(CutInitStrategy::MaxCut { seed: 23 })),
+            chip.clone(),
+        ),
+        Cell::new("Ours", Ecmas::default(), chip),
+    ]
+}
+
+/// Table III: one row, compiled sequentially.
 #[must_use]
 pub fn table3_row(circuit: &Circuit) -> Row {
-    let n = circuit.qubits();
-    let chip = Chip::min_viable(CodeModel::DoubleDefect, n, 3).expect("chip");
-    let with_init = |cut_init| EcmasConfig { cut_init, ..EcmasConfig::default() };
-    let cells = vec![
-        ("Random", run_ecmas(circuit, &chip, with_init(CutInitStrategy::Random { seed: 23 }))),
-        ("Max-cut", run_ecmas(circuit, &chip, with_init(CutInitStrategy::MaxCut { seed: 23 }))),
-        ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
-    ];
-    Row {
-        name: circuit.name().to_string(),
-        n,
-        alpha: circuit.depth(),
-        g: circuit.cnot_count(),
-        cells,
-    }
+    row_sequential(circuit, &table3_plan(circuit))
 }
 
-/// Table IV: gate-scheduling ablation (lattice surgery, min chip).
+fn order_plan(chip: Chip) -> Vec<Cell> {
+    let with_order = |order| EcmasConfig { order, ..EcmasConfig::default() };
+    vec![
+        Cell::new("Circuit-order", Ecmas::new(with_order(GateOrder::CircuitOrder)), chip.clone()),
+        Cell::new("Ours", Ecmas::default(), chip),
+    ]
+}
+
+/// Table IV plan: gate-scheduling ablation (lattice surgery, min chip).
+///
+/// # Panics
+///
+/// Panics if a chip cannot be constructed.
+#[must_use]
+pub fn table4_plan(circuit: &Circuit) -> Vec<Cell> {
+    let chip = Chip::min_viable(CodeModel::LatticeSurgery, circuit.qubits(), 3).expect("chip");
+    order_plan(chip)
+}
+
+/// [`table4_plan`] on the congested chip — see [`table2_plan_congested`];
+/// gate order only matters when gates actually compete for channels.
+///
+/// # Panics
+///
+/// Panics if a chip cannot be constructed.
+#[must_use]
+pub fn table4_plan_congested(circuit: &Circuit) -> Vec<Cell> {
+    let chip = Chip::congested(CodeModel::LatticeSurgery, circuit.qubits(), 3).expect("chip");
+    order_plan(chip)
+}
+
+/// Table IV: one row, compiled sequentially.
 #[must_use]
 pub fn table4_row(circuit: &Circuit) -> Row {
-    let n = circuit.qubits();
-    let chip = Chip::min_viable(CodeModel::LatticeSurgery, n, 3).expect("chip");
-    let with_order = |order| EcmasConfig { order, ..EcmasConfig::default() };
-    let cells = vec![
-        ("Circuit-order", run_ecmas(circuit, &chip, with_order(GateOrder::CircuitOrder))),
-        ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
-    ];
-    Row {
-        name: circuit.name().to_string(),
-        n,
-        alpha: circuit.depth(),
-        g: circuit.cnot_count(),
-        cells,
-    }
+    row_sequential(circuit, &table4_plan(circuit))
 }
 
-/// [`table4_row`] on the congested chip — see [`table2_row_congested`];
-/// gate order only matters when gates actually compete for channels.
+/// Table IV (congested chip): one row, compiled sequentially.
 #[must_use]
 pub fn table4_row_congested(circuit: &Circuit) -> Row {
-    let n = circuit.qubits();
-    let chip = Chip::congested(CodeModel::LatticeSurgery, n, 3).expect("chip");
-    let with_order = |order| EcmasConfig { order, ..EcmasConfig::default() };
-    let cells = vec![
-        ("Circuit-order", run_ecmas(circuit, &chip, with_order(GateOrder::CircuitOrder))),
-        ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
-    ];
-    Row {
-        name: circuit.name().to_string(),
-        n,
-        alpha: circuit.depth(),
-        g: circuit.cnot_count(),
-        cells,
-    }
+    row_sequential(circuit, &table4_plan_congested(circuit))
 }
 
-/// Table V: cut-type-scheduling ablation (double defect, min chip).
+/// Table V plan: cut-type-scheduling ablation (double defect, min chip).
+///
+/// # Panics
+///
+/// Panics if a chip cannot be constructed.
+#[must_use]
+pub fn table5_plan(circuit: &Circuit) -> Vec<Cell> {
+    let chip = Chip::min_viable(CodeModel::DoubleDefect, circuit.qubits(), 3).expect("chip");
+    let with_policy = |cut_policy| EcmasConfig { cut_policy, ..EcmasConfig::default() };
+    vec![
+        Cell::new("Channel-first", Ecmas::new(with_policy(CutPolicy::ChannelFirst)), chip.clone()),
+        Cell::new("Time-first", Ecmas::new(with_policy(CutPolicy::TimeFirst)), chip.clone()),
+        Cell::new("Ours", Ecmas::default(), chip),
+    ]
+}
+
+/// Table V: one row, compiled sequentially.
 #[must_use]
 pub fn table5_row(circuit: &Circuit) -> Row {
-    let n = circuit.qubits();
-    let chip = Chip::min_viable(CodeModel::DoubleDefect, n, 3).expect("chip");
-    let with_policy = |cut_policy| EcmasConfig { cut_policy, ..EcmasConfig::default() };
-    let cells = vec![
-        ("Channel-first", run_ecmas(circuit, &chip, with_policy(CutPolicy::ChannelFirst))),
-        ("Time-first", run_ecmas(circuit, &chip, with_policy(CutPolicy::TimeFirst))),
-        ("Ours", run_ecmas(circuit, &chip, EcmasConfig::default())),
-    ];
-    Row {
-        name: circuit.name().to_string(),
-        n,
-        alpha: circuit.depth(),
-        g: circuit.cnot_count(),
-        cells,
-    }
+    row_sequential(circuit, &table5_plan(circuit))
 }
 
 /// The model's paper baseline as a trait object (AutoBraid for double
@@ -458,6 +591,24 @@ mod tests {
         assert!(batch_secs > 0.0);
         assert_eq!(baseline_for(CodeModel::DoubleDefect).name(), "autobraid");
         assert_eq!(baseline_for(CodeModel::LatticeSurgery).name(), "edpci");
+    }
+
+    #[test]
+    fn parallel_table_rows_match_the_sequential_rows() {
+        let suite = vec![benchmarks::ghz(8), benchmarks::bv_n10(), benchmarks::ising_n10()];
+        let parallel = table_rows(&suite, table1_plan);
+        let sequential: Vec<Row> = suite.iter().map(table1_row).collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (par, seq) in parallel.iter().zip(&sequential) {
+            assert_eq!(par.name, seq.name);
+            assert_eq!(par.cells, seq.cells, "{}: service fan-out must not move a cell", par.name);
+        }
+        // The ablation plans drive the same machinery; spot-check one.
+        let parallel = table_rows(&suite, table5_plan);
+        let sequential: Vec<Row> = suite.iter().map(table5_row).collect();
+        for (par, seq) in parallel.iter().zip(&sequential) {
+            assert_eq!(par.cells, seq.cells);
+        }
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! chain threads one gate of each layer through the previous layer so the
 //! circuit depth is exactly `depth`.
 //!
+//! Beyond the paper's suite, [`StressWorkload`] generates deterministic
+//! seeded *service* workloads — mixed widths, depths into the thousands,
+//! bursty arrival order — for driving the `ecmas-serve` compile service
+//! and the `ecmasd` daemon far past the QUEKO depth-50 regime.
+//!
 //! # Example
 //!
 //! ```
@@ -21,7 +26,7 @@
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::circuit::Circuit;
 
@@ -89,6 +94,170 @@ pub fn test_group(
     (0..count).map(|i| layered(n, depth, parallelism, seed.wrapping_add(i as u64))).collect()
 }
 
+/// Shape of a seeded stress workload (see [`StressWorkload`]).
+///
+/// The QUEKO-style suite tops out at depth 50; a service front end needs
+/// traffic well beyond that to exercise queueing at all. A stress spec
+/// describes a *job mix*: widths from `min_qubits` up to the chip
+/// capacity, depths log-uniform up to the thousands, and a bursty arrival
+/// order (runs of similar jobs, then an abrupt change of family) that
+/// models the lumpy request streams a shared compile service actually
+/// sees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StressSpec {
+    /// Number of jobs in the workload.
+    pub jobs: usize,
+    /// Smallest circuit width generated (≥ 2).
+    pub min_qubits: usize,
+    /// Largest circuit width generated — size this to the target chip's
+    /// tile capacity.
+    pub max_qubits: usize,
+    /// Smallest circuit depth generated.
+    pub min_depth: usize,
+    /// Largest circuit depth generated (depths are drawn log-uniformly,
+    /// so most jobs are moderate and the tail is long).
+    pub max_depth: usize,
+    /// Mean burst length: consecutive jobs drawn from one parameter
+    /// family before the generator jumps to a new one.
+    pub mean_burst: usize,
+    /// Workload seed; everything below is deterministic in it.
+    pub seed: u64,
+}
+
+impl StressSpec {
+    /// A heavy default mix for `jobs` jobs on a chip with `max_qubits`
+    /// tile slots: widths 8..=`max_qubits` (clamped), depths 60..=1500,
+    /// bursts of ~16.
+    #[must_use]
+    pub fn new(jobs: usize, max_qubits: usize, seed: u64) -> Self {
+        StressSpec {
+            jobs,
+            min_qubits: 8.min(max_qubits),
+            max_qubits,
+            min_depth: 60,
+            max_depth: 1500,
+            mean_burst: 16,
+            seed,
+        }
+    }
+}
+
+/// One job of a [`StressWorkload`]: the layered-circuit parameters plus
+/// the per-job seed. [`circuit`](Self::circuit) materializes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StressJob {
+    /// Circuit width.
+    pub qubits: usize,
+    /// Circuit depth α.
+    pub depth: usize,
+    /// Disjoint CNOTs per layer.
+    pub parallelism: usize,
+    /// Seed for [`layered`].
+    pub seed: u64,
+}
+
+impl StressJob {
+    /// Builds the circuit for this job.
+    #[must_use]
+    pub fn circuit(&self) -> Circuit {
+        layered(self.qubits, self.depth, self.parallelism, self.seed)
+    }
+}
+
+/// A deterministic seeded stress workload: the job *parameters* are
+/// precomputed cheaply up front (so arrival order, widths, and depths can
+/// be inspected or streamed without building any circuit), and each
+/// circuit is materialized on demand.
+///
+/// # Example
+///
+/// ```
+/// use ecmas_circuit::random::{StressSpec, StressWorkload};
+///
+/// let w = StressWorkload::new(&StressSpec::new(100, 49, 7));
+/// assert_eq!(w.len(), 100);
+/// let c = w.circuit(42);
+/// assert!(c.qubits() <= 49 && c.depth() >= 60);
+/// // Deterministic in the spec.
+/// assert_eq!(w.jobs(), StressWorkload::new(&StressSpec::new(100, 49, 7)).jobs());
+/// ```
+#[derive(Clone, Debug)]
+pub struct StressWorkload {
+    jobs: Vec<StressJob>,
+}
+
+impl StressWorkload {
+    /// Generates the workload's job parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate: `min_qubits < 4` (a layer needs
+    /// two disjoint qubit pairs to be worth stressing), inverted
+    /// qubit/depth ranges, or `mean_burst == 0`.
+    #[must_use]
+    pub fn new(spec: &StressSpec) -> Self {
+        assert!(spec.min_qubits >= 4, "stress circuits need at least 4 qubits");
+        assert!(spec.min_qubits <= spec.max_qubits, "inverted qubit range");
+        assert!(0 < spec.min_depth && spec.min_depth <= spec.max_depth, "bad depth range");
+        assert!(spec.mean_burst > 0, "mean_burst must be positive");
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5742_E550);
+        let mut jobs = Vec::with_capacity(spec.jobs);
+        while jobs.len() < spec.jobs {
+            // A burst: one parameter family, jittered depths.
+            let qubits = rng.gen_range(spec.min_qubits..spec.max_qubits + 1);
+            // Depth log-uniform in [min, max]: moderate jobs dominate, the
+            // tail reaches into the thousands.
+            let ratio = spec.max_depth as f64 / spec.min_depth as f64;
+            let base_depth = (spec.min_depth as f64 * ratio.powf(rng.gen_range(0.0..1.0))) as usize;
+            let parallelism = rng.gen_range(1..(qubits / 2) + 1);
+            let burst = rng.gen_range(1..2 * spec.mean_burst);
+            for _ in 0..burst {
+                if jobs.len() == spec.jobs {
+                    break;
+                }
+                // ±12% depth jitter within the burst, clamped to the spec.
+                let jitter = rng.gen_range(0.88..1.12);
+                let depth =
+                    ((base_depth as f64 * jitter) as usize).clamp(spec.min_depth, spec.max_depth);
+                jobs.push(StressJob { qubits, depth, parallelism, seed: rng.next_u64() });
+            }
+        }
+        StressWorkload { jobs }
+    }
+
+    /// The precomputed job parameters, in arrival order.
+    #[must_use]
+    pub fn jobs(&self) -> &[StressJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the workload has no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Materializes job `index`, named `stress<index>_n<q>_d<depth>_p<pm>`
+    /// so service logs stay traceable to the workload position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn circuit(&self, index: usize) -> Circuit {
+        let job = &self.jobs[index];
+        let mut c = job.circuit();
+        c.set_name(format!("stress{index}_n{}_d{}_p{}", job.qubits, job.depth, job.parallelism));
+        c
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +300,60 @@ mod tests {
     #[should_panic(expected = "needs")]
     fn rejects_oversized_parallelism() {
         let _ = layered(10, 5, 6, 0);
+    }
+
+    #[test]
+    fn stress_workload_is_deterministic_and_in_bounds() {
+        let spec = StressSpec::new(200, 49, 0xBEEF);
+        let a = StressWorkload::new(&spec);
+        let b = StressWorkload::new(&spec);
+        assert_eq!(a.jobs(), b.jobs());
+        assert_eq!(a.len(), 200);
+        assert!(!a.is_empty());
+        for job in a.jobs() {
+            assert!((spec.min_qubits..=spec.max_qubits).contains(&job.qubits));
+            assert!((spec.min_depth..=spec.max_depth).contains(&job.depth));
+            assert!(job.parallelism >= 1 && 2 * job.parallelism <= job.qubits);
+        }
+        // A different seed moves the mix.
+        let c = StressWorkload::new(&StressSpec::new(200, 49, 0xF00D));
+        assert_ne!(a.jobs(), c.jobs());
+    }
+
+    #[test]
+    fn stress_workload_is_bursty_and_mixed() {
+        let spec = StressSpec::new(300, 40, 11);
+        let w = StressWorkload::new(&spec);
+        // Bursts: many adjacent jobs share a parameter family...
+        let same_family = w
+            .jobs()
+            .windows(2)
+            .filter(|p| p[0].qubits == p[1].qubits && p[0].parallelism == p[1].parallelism)
+            .count();
+        assert!(same_family > 100, "only {same_family} adjacent same-family pairs");
+        // ...but the workload still mixes widths and depths overall.
+        let widths: std::collections::HashSet<_> = w.jobs().iter().map(|j| j.qubits).collect();
+        assert!(widths.len() > 5, "only {} distinct widths", widths.len());
+        let deep = w.jobs().iter().filter(|j| j.depth > 500).count();
+        let shallow = w.jobs().iter().filter(|j| j.depth < 200).count();
+        assert!(deep > 0 && shallow > 0, "log-uniform depths must span the range");
+    }
+
+    #[test]
+    fn stress_circuit_matches_its_params_and_name() {
+        let w = StressWorkload::new(&StressSpec::new(8, 20, 3));
+        let job = w.jobs()[5];
+        let c = w.circuit(5);
+        assert_eq!(c.qubits(), job.qubits);
+        assert_eq!(c.depth(), job.depth);
+        assert_eq!(c.cnot_count(), job.depth * job.parallelism);
+        assert!(c.name().starts_with("stress5_n"), "{}", c.name());
+        assert_eq!(job.circuit().cnot_gates(), c.cnot_gates());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 qubits")]
+    fn stress_rejects_degenerate_width() {
+        let _ = StressWorkload::new(&StressSpec { min_qubits: 2, ..StressSpec::new(4, 10, 0) });
     }
 }

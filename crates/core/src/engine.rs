@@ -378,10 +378,13 @@ fn flush_routed_batch(ctx: FlushCtx<'_>) {
         ctx.qubit_free[a] = end;
         ctx.qubit_free[b] = end;
         complete(ctx.dag, g, end, ctx.pending_parents, ctx.earliest, ctx.heap);
-        if ctx.model == CodeModel::LatticeSurgery {
-            ctx.remaining[a * ctx.n + b] -= 1;
-            ctx.remaining[b * ctx.n + a] -= 1;
-        }
+        // Every completed gate leaves the look-ahead table, braids included:
+        // a different-cut braid that skipped this decrement (the latent
+        // modeling bug recorded in ROADMAP) left the Adaptive policy's
+        // M-values counting work that was already done, so later same-cut
+        // decisions over-estimated the channel swing of a flip.
+        ctx.remaining[a * ctx.n + b] -= 1;
+        ctx.remaining[b * ctx.n + a] -= 1;
         *ctx.done += 1;
         ctx.scheduled.push(idx);
         *ctx.last_progress_cycle = ctx.cycle;

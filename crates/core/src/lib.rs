@@ -31,8 +31,9 @@
 //! (per-stage wall time, router effort, the limited-vs-ReSu choice), and
 //! every ablation knob of the paper's Tables II–V is a field of
 //! [`EcmasConfig`]. The [`session::Compiler`] trait is the workspace-wide
-//! interface baselines implement too, and [`session::compile_batch`] fans
-//! independent compilations across scoped threads.
+//! interface baselines implement too; batch and service-style fan-out
+//! (`compile_batch`, `CompileService`, the `ecmasd` daemon) live a layer
+//! up in `ecmas-serve`.
 //!
 //! # Example
 //!
@@ -78,4 +79,4 @@ pub use error::CompileError;
 pub use mapping::LocationStrategy;
 pub use profile::{para_finding, ExecutionScheme};
 pub use resu::schedule_sufficient;
-pub use session::{compile_batch, Algorithm, CompileOutcome, CompileReport, Compiler};
+pub use session::{Algorithm, CompileOutcome, CompileReport, Compiler};

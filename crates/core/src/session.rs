@@ -17,8 +17,11 @@
 //!
 //! The [`Compiler`] trait is the workspace-wide front door — `Ecmas` and
 //! the `AutoBraid`/`Edpci` baselines all implement it, so harnesses drive
-//! every compiler through one interface — and [`compile_batch`] fans
-//! independent compilations across scoped threads.
+//! every compiler through one interface. Fan-out lives a layer up, in
+//! `ecmas-serve`: its `CompileService` worker pool runs these stages with
+//! a cancellation/deadline checkpoint at every boundary, and its
+//! `compile_batch` facade fans independent compilations across scoped
+//! threads.
 //!
 //! # Example
 //!
@@ -215,8 +218,8 @@ pub struct CompileOutcome {
 /// the baselines — turns a circuit + chip into a [`CompileOutcome`].
 ///
 /// Object-safe, so harnesses can hold `&dyn Compiler` and benchmark all
-/// compilers through one code path; `Sync` implementors work with
-/// [`compile_batch`].
+/// compilers through one code path; `Sync` implementors work with the
+/// `ecmas-serve` service layer (`compile_batch`, `CompileService`).
 pub trait Compiler {
     /// Short display name for reports ("ecmas", "autobraid", "edpci").
     fn name(&self) -> &'static str;
@@ -630,64 +633,12 @@ fn check_fit(qubits: usize, chip: &Chip) -> Result<(), CompileError> {
     Ok(())
 }
 
-/// Compiles every circuit with the same compiler and chip, fanning the
-/// independent compilations across scoped threads (one worker per
-/// available core, capped by the batch size). Results come back in input
-/// order and are bit-identical to a sequential loop: every compiler in
-/// the workspace is deterministic, and the workers share nothing.
-pub fn compile_batch<C: Compiler + Sync + ?Sized>(
-    compiler: &C,
-    circuits: &[Circuit],
-    chip: &Chip,
-) -> Vec<Result<CompileOutcome, CompileError>> {
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    compile_batch_with_threads(compiler, circuits, chip, threads)
-}
-
-/// [`compile_batch`] with an explicit worker count (`1` runs inline).
-pub fn compile_batch_with_threads<C: Compiler + Sync + ?Sized>(
-    compiler: &C,
-    circuits: &[Circuit],
-    chip: &Chip,
-    threads: usize,
-) -> Vec<Result<CompileOutcome, CompileError>> {
-    let threads = threads.clamp(1, circuits.len().max(1));
-    if threads == 1 {
-        return circuits.iter().map(|c| compiler.compile_outcome(c, chip)).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= circuits.len() {
-                    break;
-                }
-                let result = compiler.compile_outcome(&circuits[i], chip);
-                if tx.send((i, result)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        let mut slots: Vec<Option<Result<CompileOutcome, CompileError>>> =
-            (0..circuits.len()).map(|_| None).collect();
-        for (i, result) in rx {
-            slots[i] = Some(result);
-        }
-        slots.into_iter().map(|s| s.expect("every index compiled exactly once")).collect()
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compiler::EcmasConfig;
     use crate::encoded::validate_encoded;
-    use ecmas_circuit::{benchmarks, Circuit};
+    use ecmas_circuit::benchmarks;
 
     #[test]
     fn staged_equals_one_shot() {
@@ -861,37 +812,6 @@ mod tests {
         let resu = Ecmas::default().compile_auto(&c, &sufficient).unwrap();
         assert_eq!(resu.report.algorithm, Algorithm::ReSu);
         assert_eq!(resu.encoded.cycles() as usize, c.depth(), "LS ReSu is depth-optimal");
-    }
-
-    #[test]
-    fn batch_matches_sequential_event_for_event() {
-        let circuits: Vec<Circuit> =
-            (0..6).map(|s| ecmas_circuit::random::layered(12, 8, 3, 1000 + s)).collect();
-        let chip = Chip::min_viable(CodeModel::LatticeSurgery, 12, 3).unwrap();
-        let compiler = Ecmas::default();
-        let sequential: Vec<_> =
-            circuits.iter().map(|c| compiler.compile_outcome(c, &chip).unwrap()).collect();
-        let batched = compile_batch_with_threads(&compiler, &circuits, &chip, 4);
-        assert_eq!(batched.len(), circuits.len());
-        for (seq, par) in sequential.iter().zip(batched) {
-            let par = par.unwrap();
-            assert_eq!(par.encoded.events(), seq.encoded.events());
-            assert_eq!(par.encoded.mapping(), seq.encoded.mapping());
-            assert_eq!(par.report.cycles, seq.report.cycles);
-        }
-    }
-
-    #[test]
-    fn batch_surfaces_per_circuit_errors_in_order() {
-        let mut circuits = vec![benchmarks::ghz(4), benchmarks::qft_n10(), benchmarks::ghz(4)];
-        let chip = Chip::uniform(CodeModel::LatticeSurgery, 2, 2, 1, 3).unwrap();
-        let results = compile_batch_with_threads(&Ecmas::default(), &circuits, &chip, 2);
-        assert!(results[0].is_ok());
-        assert!(matches!(results[1], Err(CompileError::TooManyQubits { qubits: 10, slots: 4 })));
-        assert!(results[2].is_ok());
-        // And the trivial empty batch.
-        circuits.clear();
-        assert!(compile_batch(&Ecmas::default(), &circuits, &chip).is_empty());
     }
 
     #[test]

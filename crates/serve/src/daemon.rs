@@ -1,0 +1,589 @@
+//! The `ecmasd` line protocol: newline-delimited JSON over stdin/stdout.
+//!
+//! The daemon binary (`src/bin/ecmasd.rs` in the workspace root) is a
+//! thin loop around [`Daemon`]: one request object per input line, one or
+//! more response objects per output line. Keeping the protocol engine
+//! here makes it testable without spawning a process.
+//!
+//! ## Requests
+//!
+//! | op       | fields |
+//! |----------|--------|
+//! | `submit` | a circuit source — `"qasm"` (inline source), `"file"` (path), or `"random"` (`{qubits, depth, parallelism, seed}`) — plus optional `"chip"`, `"model"`, `"deadline_ms"`, `"tag"` |
+//! | `status` | `"job"` — non-blocking lifecycle probe |
+//! | `cancel` | `"job"` — cooperative cancellation |
+//! | `result` | `"job"` — blocking wait; emits the job's result line now |
+//! | `drain`  | emit every unreported result (submission order) + a summary |
+//!
+//! Job numbers are assigned sequentially from 1 in submission order, so a
+//! stream producer can refer to its own jobs without reading responses.
+//!
+//! ## Responses
+//!
+//! Every response is one JSON object with an `"op"` key: `submitted`,
+//! `status`, `cancel`, `result`, `drained`, or `error`. A `result` line
+//! for a completed job embeds the same `CompileReport` JSON object that
+//! `ecmasc --json` emits (and that CI validates against the report
+//! schema); cancelled / deadline-expired / failed jobs report a
+//! `"status"` of `cancelled` / `deadline` / `error` instead.
+
+use std::time::Duration;
+
+use ecmas_chip::{Chip, ChipError, CodeModel};
+use ecmas_circuit::random::{layered, StressSpec, StressWorkload};
+use ecmas_circuit::Circuit;
+use ecmas_core::para_finding;
+use ecmas_core::session::CompileOutcome;
+
+use crate::job::{JobError, JobHandle, JobStatus};
+use crate::json::{self, Value};
+use crate::service::{CompileRequest, CompileService, ServiceConfig, SubmitError};
+
+/// The chip families `ecmasc`/`ecmasd` can build per circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChipKind {
+    /// `Chip::min_viable` — the paper's minimum viable chip.
+    Min,
+    /// `Chip::four_x` — 4× the minimum resources.
+    FourX,
+    /// `Chip::congested` — double-side array, bandwidth-1 channels.
+    Congested,
+    /// `Chip::sufficient` for the circuit's profiled `ĝPM`.
+    Sufficient,
+}
+
+impl ChipKind {
+    /// Parses the CLI/protocol spelling (`min|4x|congested|sufficient`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "min" => Some(ChipKind::Min),
+            "4x" => Some(ChipKind::FourX),
+            "congested" => Some(ChipKind::Congested),
+            "sufficient" => Some(ChipKind::Sufficient),
+            _ => None,
+        }
+    }
+
+    /// The CLI/protocol spelling.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ChipKind::Min => "min",
+            ChipKind::FourX => "4x",
+            ChipKind::Congested => "congested",
+            ChipKind::Sufficient => "sufficient",
+        }
+    }
+
+    /// Builds the chip of this family sized for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`ChipError`].
+    pub fn build(self, model: CodeModel, circuit: &Circuit) -> Result<Chip, ChipError> {
+        let n = circuit.qubits();
+        match self {
+            ChipKind::Min => Chip::min_viable(model, n, 3),
+            ChipKind::FourX => Chip::four_x(model, n, 3),
+            ChipKind::Congested => Chip::congested(model, n, 3),
+            ChipKind::Sufficient => {
+                let gpm = para_finding(&circuit.dag()).gpm();
+                Chip::sufficient(model, n, gpm.max(1), 3)
+            }
+        }
+    }
+}
+
+/// Daemon defaults: the code model and chip family used when a submit
+/// request does not override them, plus the service sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonOptions {
+    /// Default code model for submitted circuits.
+    pub model: CodeModel,
+    /// Default chip family, sized per circuit.
+    pub chip: ChipKind,
+    /// Worker-pool and queue sizing.
+    pub service: ServiceConfig,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            model: CodeModel::DoubleDefect,
+            chip: ChipKind::Min,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+enum EntryState {
+    /// Job in flight; the handle owns the future result.
+    Pending(JobHandle),
+    /// Finished and reaped: the result line is already rendered and the
+    /// heavyweight `EncodedCircuit` dropped; the line waits to be emitted.
+    Ready { label: &'static str, line: String },
+    /// Result line emitted; the label is the final protocol status.
+    Reported(&'static str),
+}
+
+struct Entry {
+    tag: Option<String>,
+    name: String,
+    qubits: usize,
+    state: EntryState,
+}
+
+/// The protocol engine: owns the [`CompileService`] and the job registry.
+pub struct Daemon {
+    options: DaemonOptions,
+    service: CompileService,
+    entries: Vec<Entry>,
+}
+
+impl Daemon {
+    /// Starts the service with the given options.
+    #[must_use]
+    pub fn new(options: DaemonOptions) -> Self {
+        Daemon { options, service: CompileService::new(options.service), entries: Vec::new() }
+    }
+
+    /// Jobs submitted so far.
+    #[must_use]
+    pub fn submitted(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` while some job's result has not been reported yet — the
+    /// binary's cue to [`drain`](Self::drain) at EOF.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.entries.iter().any(|e| !matches!(e.state, EntryState::Reported(_)))
+    }
+
+    /// Converts every finished-but-unreported job's outcome into its
+    /// rendered result line right away, dropping the schedule. This is
+    /// what keeps daemon memory bounded on long job streams: without it,
+    /// every completed `EncodedCircuit` would sit in its slot until the
+    /// final drain. Runs on every handled line.
+    fn reap(&mut self) {
+        for index in 0..self.entries.len() {
+            if !matches!(self.entries[index].state, EntryState::Pending(_)) {
+                continue;
+            }
+            let EntryState::Pending(handle) =
+                std::mem::replace(&mut self.entries[index].state, EntryState::Reported("done"))
+            else {
+                unreachable!("matched Pending above");
+            };
+            self.entries[index].state = match handle.try_wait() {
+                Ok(result) => {
+                    let entry = &self.entries[index];
+                    let (label, line) =
+                        result_line(index, entry.tag.as_deref(), &entry.name, entry.qubits, result);
+                    EntryState::Ready { label, line }
+                }
+                Err(handle) => EntryState::Pending(handle),
+            };
+        }
+    }
+
+    /// Handles one input line, returning the response lines to emit.
+    /// Blank lines produce no response.
+    pub fn handle_line(&mut self, line: &str) -> Vec<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Vec::new();
+        }
+        self.reap();
+        let request = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return vec![error_line(&e.to_string())],
+        };
+        let Some(op) = request.get("op").and_then(Value::as_str) else {
+            return vec![error_line("missing \"op\"")];
+        };
+        match op {
+            "submit" => self.submit(&request),
+            "status" => self.status(&request),
+            "cancel" => self.cancel(&request),
+            "result" => self.result(&request),
+            "drain" => self.drain(),
+            other => vec![error_line(&format!("unknown op {other:?}"))],
+        }
+    }
+
+    /// Emits every unreported result in submission order, then a summary
+    /// line. Called on an explicit `drain` op and by the binary at EOF.
+    pub fn drain(&mut self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for index in 0..self.entries.len() {
+            if !matches!(self.entries[index].state, EntryState::Reported(_)) {
+                lines.push(self.take_result(index));
+            }
+        }
+        let mut done = 0usize;
+        let mut cancelled = 0usize;
+        let mut deadline = 0usize;
+        let mut failed = 0usize;
+        for entry in &self.entries {
+            match entry.state {
+                EntryState::Reported("done") => done += 1,
+                EntryState::Reported("cancelled") => cancelled += 1,
+                EntryState::Reported("deadline") => deadline += 1,
+                EntryState::Reported(_) => failed += 1,
+                EntryState::Pending(_) | EntryState::Ready { .. } => unreachable!("drained above"),
+            }
+        }
+        lines.push(format!(
+            "{{\"op\":\"drained\",\"jobs\":{},\"done\":{done},\"cancelled\":{cancelled},\
+             \"deadline\":{deadline},\"failed\":{failed}}}",
+            self.entries.len()
+        ));
+        lines
+    }
+
+    fn submit(&mut self, request: &Value) -> Vec<String> {
+        let tag = request.get("tag").and_then(Value::as_str).map(str::to_string);
+        let circuit = match build_circuit(request) {
+            Ok(c) => c,
+            Err(message) => return vec![error_line(&message)],
+        };
+        let model = match request.get("model").and_then(Value::as_str) {
+            None => self.options.model,
+            Some("dd") | Some("double-defect") => CodeModel::DoubleDefect,
+            Some("ls") | Some("lattice-surgery") => CodeModel::LatticeSurgery,
+            Some(other) => return vec![error_line(&format!("unknown model {other:?}"))],
+        };
+        let chip_kind = match request.get("chip").and_then(Value::as_str) {
+            None => self.options.chip,
+            Some(s) => match ChipKind::parse(s) {
+                Some(kind) => kind,
+                None => return vec![error_line(&format!("unknown chip {s:?}"))],
+            },
+        };
+        let chip = match chip_kind.build(model, &circuit) {
+            Ok(chip) => chip,
+            Err(e) => return vec![error_line(&format!("chip construction failed: {e}"))],
+        };
+        let name = circuit.name().to_string();
+        let qubits = circuit.qubits();
+        let mut compile_request = CompileRequest::new(circuit, chip);
+        if let Some(ms) = request.get("deadline_ms").and_then(Value::as_u64) {
+            compile_request = compile_request.with_deadline(Duration::from_millis(ms));
+        }
+        match self.service.submit(compile_request) {
+            Ok(handle) => {
+                self.entries.push(Entry {
+                    tag: tag.clone(),
+                    name: name.clone(),
+                    qubits,
+                    state: EntryState::Pending(handle),
+                });
+                let job = self.entries.len();
+                vec![format!(
+                    "{{\"op\":\"submitted\",\"job\":{job}{},\"circuit\":\"{}\",\
+                     \"qubits\":{qubits},\"queued\":{}}}",
+                    tag_field(tag.as_deref()),
+                    json::escape(&name),
+                    self.service.queued()
+                )]
+            }
+            Err(SubmitError::Saturated(_)) => vec![error_line("queue saturated")],
+        }
+    }
+
+    fn job_index(&self, request: &Value) -> Result<usize, String> {
+        let job = request
+            .get("job")
+            .and_then(Value::as_usize)
+            .ok_or_else(|| "missing or invalid \"job\"".to_string())?;
+        if job == 0 || job > self.entries.len() {
+            return Err(format!("no such job {job}"));
+        }
+        Ok(job - 1)
+    }
+
+    fn status(&mut self, request: &Value) -> Vec<String> {
+        let index = match self.job_index(request) {
+            Ok(i) => i,
+            Err(message) => return vec![error_line(&message)],
+        };
+        let entry = &self.entries[index];
+        let status = match &entry.state {
+            EntryState::Pending(handle) => match handle.status() {
+                JobStatus::Queued => "queued",
+                JobStatus::Running => "running",
+                JobStatus::Finished => "finished",
+            },
+            EntryState::Ready { .. } => "finished",
+            EntryState::Reported(label) => label,
+        };
+        vec![format!(
+            "{{\"op\":\"status\",\"job\":{}{},\"status\":\"{status}\"}}",
+            index + 1,
+            tag_field(entry.tag.as_deref())
+        )]
+    }
+
+    fn cancel(&mut self, request: &Value) -> Vec<String> {
+        let index = match self.job_index(request) {
+            Ok(i) => i,
+            Err(message) => return vec![error_line(&message)],
+        };
+        let entry = &self.entries[index];
+        let accepted = match &entry.state {
+            EntryState::Pending(handle) => handle.cancel(),
+            EntryState::Ready { .. } | EntryState::Reported(_) => false,
+        };
+        vec![format!(
+            "{{\"op\":\"cancel\",\"job\":{}{},\"accepted\":{accepted}}}",
+            index + 1,
+            tag_field(entry.tag.as_deref())
+        )]
+    }
+
+    fn result(&mut self, request: &Value) -> Vec<String> {
+        let index = match self.job_index(request) {
+            Ok(i) => i,
+            Err(message) => return vec![error_line(&message)],
+        };
+        if let EntryState::Reported(label) = self.entries[index].state {
+            return vec![error_line(&format!("job {} already reported ({label})", index + 1))];
+        }
+        vec![self.take_result(index)]
+    }
+
+    /// Reports job `index` (it must not be reported yet): waits if the
+    /// job is still in flight, records its final status, and returns its
+    /// result line.
+    fn take_result(&mut self, index: usize) -> String {
+        let state = std::mem::replace(&mut self.entries[index].state, EntryState::Reported("done"));
+        let (label, line) = match state {
+            EntryState::Pending(handle) => {
+                let result = handle.wait();
+                let entry = &self.entries[index];
+                result_line(index, entry.tag.as_deref(), &entry.name, entry.qubits, result)
+            }
+            EntryState::Ready { label, line } => (label, line),
+            EntryState::Reported(_) => unreachable!("caller checked the entry is unreported"),
+        };
+        self.entries[index].state = EntryState::Reported(label);
+        line
+    }
+}
+
+/// Renders one job's result line and its final protocol status label.
+fn result_line(
+    index: usize,
+    tag: Option<&str>,
+    name: &str,
+    qubits: usize,
+    result: Result<CompileOutcome, JobError>,
+) -> (&'static str, String) {
+    let head = format!(
+        "{{\"op\":\"result\",\"job\":{}{},\"circuit\":\"{}\",\"qubits\":{qubits}",
+        index + 1,
+        tag_field(tag),
+        json::escape(name),
+    );
+    let (label, body) = match result {
+        Ok(CompileOutcome { report, .. }) => {
+            ("done", format!(",\"status\":\"done\",\"report\":{}}}", report.to_json()))
+        }
+        Err(JobError::Cancelled) => ("cancelled", ",\"status\":\"cancelled\"}".to_string()),
+        Err(e @ JobError::DeadlineExceeded { .. }) => (
+            "deadline",
+            format!(",\"status\":\"deadline\",\"error\":\"{}\"}}", json::escape(&e.to_string())),
+        ),
+        Err(e) => (
+            "error",
+            format!(",\"status\":\"error\",\"error\":\"{}\"}}", json::escape(&e.to_string())),
+        ),
+    };
+    (label, format!("{head}{body}"))
+}
+
+fn tag_field(tag: Option<&str>) -> String {
+    tag.map_or_else(String::new, |t| format!(",\"tag\":\"{}\"", json::escape(t)))
+}
+
+fn error_line(message: &str) -> String {
+    format!("{{\"op\":\"error\",\"error\":\"{}\"}}", json::escape(message))
+}
+
+/// Builds the circuit named by a submit request's source field.
+fn build_circuit(request: &Value) -> Result<Circuit, String> {
+    if let Some(source) = request.get("qasm").and_then(Value::as_str) {
+        return ecmas_circuit::qasm::parse(source).map_err(|e| format!("qasm: {e}"));
+    }
+    if let Some(path) = request.get("file").and_then(Value::as_str) {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return ecmas_circuit::qasm::parse(&source).map_err(|e| format!("{path}: {e}"));
+    }
+    if let Some(random) = request.get("random") {
+        let field = |key: &str| {
+            random
+                .get(key)
+                .and_then(Value::as_usize)
+                .ok_or_else(|| format!("random source needs a non-negative integer {key:?}"))
+        };
+        let qubits = field("qubits")?;
+        let depth = field("depth")?;
+        let parallelism = field("parallelism")?;
+        let seed = random.get("seed").and_then(Value::as_u64).unwrap_or(0);
+        if parallelism == 0 || 2 * parallelism > qubits || depth == 0 {
+            return Err(format!(
+                "random source out of range: qubits={qubits} depth={depth} \
+                 parallelism={parallelism}"
+            ));
+        }
+        return Ok(layered(qubits, depth, parallelism, seed));
+    }
+    Err("submit needs a circuit source: \"qasm\", \"file\", or \"random\"".to_string())
+}
+
+/// Renders a seeded [`StressWorkload`] as an `ecmasd` input stream:
+/// one `submit` per job (via the `random` source, so the daemon
+/// regenerates the identical circuit), a `cancel` after every
+/// `cancel_every`-th submit (targeting the job just submitted — it is
+/// honored whenever the job is still queued when the daemon reads the
+/// next line), and a final `drain`.
+#[must_use]
+pub fn stress_stream(
+    spec: &StressSpec,
+    cancel_every: Option<usize>,
+    deadline_ms: Option<u64>,
+) -> String {
+    let workload = StressWorkload::new(spec);
+    let mut out = String::new();
+    let deadline = deadline_ms.map_or_else(String::new, |ms| format!(",\"deadline_ms\":{ms}"));
+    for (i, job) in workload.jobs().iter().enumerate() {
+        let number = i + 1;
+        out.push_str(&format!(
+            "{{\"op\":\"submit\",\"tag\":\"stress{i}\",\"random\":{{\"qubits\":{},\
+             \"depth\":{},\"parallelism\":{},\"seed\":{}}}{deadline}}}\n",
+            job.qubits, job.depth, job.parallelism, job.seed
+        ));
+        if let Some(every) = cancel_every {
+            if every > 0 && number % every == 0 {
+                out.push_str(&format!("{{\"op\":\"cancel\",\"job\":{number}}}\n"));
+            }
+        }
+    }
+    out.push_str("{\"op\":\"drain\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Backpressure;
+
+    fn daemon(workers: usize) -> Daemon {
+        Daemon::new(DaemonOptions {
+            model: CodeModel::LatticeSurgery,
+            chip: ChipKind::Min,
+            service: ServiceConfig {
+                workers,
+                queue_capacity: 64,
+                backpressure: Backpressure::Block,
+            },
+        })
+    }
+
+    fn one(lines: Vec<String>) -> Value {
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        json::parse(&lines[0]).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn submit_status_result_roundtrip() {
+        let mut d = daemon(2);
+        let resp = one(d.handle_line(
+            r#"{"op":"submit","tag":"t1","random":{"qubits":10,"depth":8,"parallelism":2,"seed":5}}"#,
+        ));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("submitted"));
+        assert_eq!(resp.get("job").unwrap().as_u64(), Some(1));
+        assert_eq!(resp.get("tag").unwrap().as_str(), Some("t1"));
+
+        let status = one(d.handle_line(r#"{"op":"status","job":1}"#));
+        assert!(matches!(
+            status.get("status").unwrap().as_str(),
+            Some("queued" | "running" | "finished")
+        ));
+
+        let result = one(d.handle_line(r#"{"op":"result","job":1}"#));
+        assert_eq!(result.get("op").unwrap().as_str(), Some("result"));
+        assert_eq!(result.get("status").unwrap().as_str(), Some("done"));
+        let report = result.get("report").expect("report embedded");
+        assert!(report.get("cycles").unwrap().as_u64().unwrap() >= 8);
+        assert!(report.get("router").is_some());
+
+        // Second take is a protocol error, and the status is now final.
+        let again = one(d.handle_line(r#"{"op":"result","job":1}"#));
+        assert_eq!(again.get("op").unwrap().as_str(), Some("error"));
+        let status = one(d.handle_line(r#"{"op":"status","job":1}"#));
+        assert_eq!(status.get("status").unwrap().as_str(), Some("done"));
+    }
+
+    #[test]
+    fn qasm_source_and_drain_summary() {
+        let mut d = daemon(1);
+        let qasm = "OPENQASM 2.0;\nqreg q[3];\ncx q[0],q[1];\ncx q[1],q[2];\n";
+        let line = format!(
+            "{{\"op\":\"submit\",\"qasm\":\"{}\"}}",
+            qasm.replace('\n', "\\n").replace('"', "\\\"")
+        );
+        one(d.handle_line(&line));
+        let lines = d.drain();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        let result = json::parse(&lines[0]).unwrap();
+        assert_eq!(result.get("status").unwrap().as_str(), Some("done"));
+        assert_eq!(result.get("qubits").unwrap().as_u64(), Some(3));
+        let summary = json::parse(&lines[1]).unwrap();
+        assert_eq!(summary.get("op").unwrap().as_str(), Some("drained"));
+        assert_eq!(summary.get("jobs").unwrap().as_u64(), Some(1));
+        assert_eq!(summary.get("done").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn malformed_lines_report_errors_not_panics() {
+        let mut d = daemon(1);
+        for bad in [
+            "not json",
+            "{\"no\":\"op\"}",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"submit\"}",
+            "{\"op\":\"submit\",\"random\":{\"qubits\":4,\"depth\":3,\"parallelism\":9}}",
+            "{\"op\":\"status\",\"job\":99}",
+            "{\"op\":\"result\"}",
+            "{\"op\":\"submit\",\"random\":{\"qubits\":4,\"depth\":3,\"parallelism\":1},\
+             \"chip\":\"warp\"}",
+            "{\"op\":\"submit\",\"random\":{\"qubits\":4,\"depth\":3,\"parallelism\":1},\
+             \"model\":\"xx\"}",
+        ] {
+            let resp = one(d.handle_line(bad));
+            assert_eq!(resp.get("op").unwrap().as_str(), Some("error"), "{bad}");
+        }
+        assert!(d.handle_line("").is_empty());
+        assert_eq!(d.submitted(), 0);
+    }
+
+    #[test]
+    fn stress_stream_is_deterministic_and_well_formed() {
+        let spec = StressSpec { jobs: 7, ..StressSpec::new(7, 16, 3) };
+        let a = stress_stream(&spec, Some(3), Some(60_000));
+        assert_eq!(a, stress_stream(&spec, Some(3), Some(60_000)));
+        let lines: Vec<&str> = a.lines().collect();
+        // 7 submits + 2 cancels (jobs 3 and 6) + drain.
+        assert_eq!(lines.len(), 10);
+        for line in &lines {
+            json::parse(line).expect("stream line is valid JSON");
+        }
+        assert!(lines[3].contains("\"cancel\"") && lines[3].contains("\"job\":3"));
+        assert!(lines.last().unwrap().contains("drain"));
+    }
+}

@@ -1,0 +1,414 @@
+//! A minimal JSON reader/writer for the `ecmasd` line protocol.
+//!
+//! The workspace is offline (see `vendor/README.md`), so there is no
+//! serde; the daemon's requests are small flat objects, and this module
+//! parses exactly standard JSON into a tiny [`Value`] tree. Emission
+//! stays `format!`-based throughout the workspace — reports already know
+//! how to print themselves — so only [`escape`] is shared for output.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`; [`Value::as_u64`] checks
+    /// integrality).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match; `None` for non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) =>
+            {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// [`Value::as_u64`] narrowed to `usize`.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The boolean, if this is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for JsonError {}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslash,
+/// and control characters).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if c.is_control() => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError { offset: self.pos, message }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn keyword(&mut self, word: &'static str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid keyword"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let second = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&second) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                    char::from_u32(c).ok_or_else(|| self.err("bad code point"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&first) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(first).ok_or_else(|| self.err("bad code point"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was a valid &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') = self.peek() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| JsonError { offset: start, message: "invalid number" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_shapes() {
+        let v = parse(
+            r#"{"op":"submit","random":{"qubits":12,"depth":60,"parallelism":3,"seed":7},
+               "deadline_ms":250,"tag":"a/b","deep":[1,-2.5,true,null]}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("submit"));
+        let random = v.get("random").unwrap();
+        assert_eq!(random.get("qubits").unwrap().as_usize(), Some(12));
+        assert_eq!(random.get("seed").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("deadline_ms").unwrap().as_u64(), Some(250));
+        assert_eq!(v.get("tag").unwrap().as_str(), Some("a/b"));
+        match v.get("deep").unwrap() {
+            Value::Arr(items) => {
+                assert_eq!(items[0].as_u64(), Some(1));
+                assert_eq!(items[1].as_f64(), Some(-2.5));
+                assert_eq!(items[2].as_bool(), Some(true));
+                assert_eq!(items[3], Value::Null);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = parse(r#""a\"b\\c\/\n\t\u00e9\ud83d\ude00 ü""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c/\n\té😀 ü"));
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let original = "tag \"x\"\\ with\nnewline\tand é";
+        let quoted = format!("\"{}\"", escape(original));
+        assert_eq!(parse(&quoted).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+            "{} extra",
+            "\"unterminated",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn u64_narrowing_is_checked() {
+        assert_eq!(parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("42").unwrap().as_usize(), Some(42));
+        assert_eq!(parse("true").unwrap().as_f64(), None);
+    }
+}

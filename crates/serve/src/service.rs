@@ -1,0 +1,436 @@
+//! The compile service: a persistent worker pool over the bounded queue.
+//!
+//! [`CompileService`] is the long-running front end of the workspace: it
+//! owns `workers` OS threads that drain a bounded job queue, and hands
+//! every submission back as a [`JobHandle`]. Requests carry their own
+//! circuit, chip, config overrides, and optional deadline, so one service
+//! instance serves heterogeneous traffic — exactly what the `ecmasd`
+//! daemon and the experiment harness need.
+//!
+//! Built-in [`CompileRequest`]s run the staged session pipeline
+//! (profile → map → schedule) with a cancellation/deadline checkpoint at
+//! every stage boundary, so cooperative cancellation has real teeth
+//! without the compiler having to poll flags in its inner loops. Custom
+//! compilers (the baselines, or anything implementing
+//! [`Compiler`]) run as a single opaque stage.
+//!
+//! Determinism: the service adds no randomness — every compiler in the
+//! workspace is deterministic and jobs share no mutable state — so a
+//! job's result is bit-identical whether the pool has 1 worker or 16,
+//! and identical to calling the compiler directly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ecmas_chip::Chip;
+use ecmas_circuit::Circuit;
+use ecmas_core::compiler::EcmasConfig;
+use ecmas_core::session::{CompileOutcome, Compiler};
+use ecmas_core::Ecmas;
+
+use crate::job::{JobError, JobHandle, Slot};
+use crate::queue::{Backpressure, JobQueue, PushError};
+
+/// Sizing and backpressure policy of a [`CompileService`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Bounded queue capacity; `0` means `4 × workers`. The bound is what
+    /// keeps queue memory constant no matter how fast clients submit.
+    pub queue_capacity: usize,
+    /// What a submission does when the queue is at capacity.
+    pub backpressure: Backpressure,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 0, queue_capacity: 0, backpressure: Backpressure::Block }
+    }
+}
+
+impl ServiceConfig {
+    fn resolved(self) -> (usize, usize) {
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        let capacity = if self.queue_capacity == 0 { 4 * workers } else { self.queue_capacity };
+        (workers, capacity)
+    }
+}
+
+/// Which session-pipeline scheduler a built-in request runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleMode {
+    /// The paper's resource-adaptive choice (capacity vs `ĝPM`).
+    Auto,
+    /// Algorithm 1, the limited-resources scheduler.
+    Limited,
+    /// Algorithm 2, Ecmas-ReSu.
+    ReSu,
+}
+
+enum Pipeline {
+    Ecmas { config: EcmasConfig, mode: ScheduleMode },
+    Custom(Arc<dyn Compiler + Send + Sync>),
+}
+
+impl Clone for Pipeline {
+    fn clone(&self) -> Self {
+        match self {
+            Pipeline::Ecmas { config, mode } => Pipeline::Ecmas { config: *config, mode: *mode },
+            Pipeline::Custom(c) => Pipeline::Custom(Arc::clone(c)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pipeline::Ecmas { config, mode } => {
+                f.debug_struct("Ecmas").field("config", config).field("mode", mode).finish()
+            }
+            Pipeline::Custom(c) => write!(f, "Custom({})", c.name()),
+        }
+    }
+}
+
+/// One unit of service work: a circuit, the chip to compile it for, the
+/// pipeline to run, and an optional deadline.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use ecmas_serve::{CompileRequest, ScheduleMode};
+/// use ecmas_chip::{Chip, CodeModel};
+/// use ecmas_circuit::benchmarks::ghz;
+///
+/// let chip = Chip::min_viable(CodeModel::LatticeSurgery, 9, 3)?;
+/// let request = CompileRequest::new(ghz(9), chip)
+///     .with_mode(ScheduleMode::Limited)
+///     .with_deadline(Duration::from_secs(5));
+/// assert_eq!(request.circuit().qubits(), 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompileRequest {
+    circuit: Circuit,
+    chip: Chip,
+    pipeline: Pipeline,
+    deadline: Option<Duration>,
+}
+
+impl CompileRequest {
+    /// A request for the default Ecmas pipeline in [`ScheduleMode::Auto`],
+    /// with no deadline.
+    #[must_use]
+    pub fn new(circuit: Circuit, chip: Chip) -> Self {
+        CompileRequest {
+            circuit,
+            chip,
+            pipeline: Pipeline::Ecmas { config: EcmasConfig::default(), mode: ScheduleMode::Auto },
+            deadline: None,
+        }
+    }
+
+    /// Overrides the Ecmas pipeline configuration (ablation knobs).
+    /// Replaces any custom compiler set earlier.
+    #[must_use]
+    pub fn with_config(mut self, config: EcmasConfig) -> Self {
+        let mode = match self.pipeline {
+            Pipeline::Ecmas { mode, .. } => mode,
+            Pipeline::Custom(_) => ScheduleMode::Auto,
+        };
+        self.pipeline = Pipeline::Ecmas { config, mode };
+        self
+    }
+
+    /// Picks the scheduler the session pipeline runs. Replaces any custom
+    /// compiler set earlier.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ScheduleMode) -> Self {
+        let config = match self.pipeline {
+            Pipeline::Ecmas { config, .. } => config,
+            Pipeline::Custom(_) => EcmasConfig::default(),
+        };
+        self.pipeline = Pipeline::Ecmas { config, mode };
+        self
+    }
+
+    /// Runs an arbitrary [`Compiler`] (e.g. a baseline) instead of the
+    /// staged Ecmas pipeline. Custom compilers execute as one opaque
+    /// stage: cancellation and deadlines are only checked before it runs.
+    #[must_use]
+    pub fn with_compiler(mut self, compiler: Arc<dyn Compiler + Send + Sync>) -> Self {
+        self.pipeline = Pipeline::Custom(compiler);
+        self
+    }
+
+    /// Sets the deadline, measured from submission. A job that cannot
+    /// finish inside it reports [`JobError::DeadlineExceeded`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The circuit to compile.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The target chip.
+    #[must_use]
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// The deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The queue is at capacity under [`Backpressure::Reject`]; the
+    /// request is handed back so the caller can retry or shed load.
+    Saturated(Box<CompileRequest>),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated(_) => write!(f, "service queue is at capacity"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Internal: anything a worker can execute. `run` consumes the payload;
+/// `ctl` exposes the cancellation/deadline checkpoint.
+pub(crate) trait RunJob: Send {
+    fn run(self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError>;
+}
+
+/// Checkpoint access handed to running jobs.
+pub(crate) struct JobCtl<'a> {
+    slot: &'a Slot,
+}
+
+impl<'a> JobCtl<'a> {
+    /// A checkpoint view over a bare slot (the inline single-thread batch
+    /// path has no worker loop to build one).
+    pub(crate) fn for_slot(slot: &'a Slot) -> Self {
+        JobCtl { slot }
+    }
+
+    pub(crate) fn checkpoint(&self) -> Result<(), JobError> {
+        self.slot.checkpoint()
+    }
+}
+
+/// Shared state between submitters and workers: the queue plus id counter.
+/// Generic over the payload so the persistent service (owned jobs) and the
+/// scoped batch front end (borrowed jobs) reuse one dispatch machine.
+pub(crate) struct ServiceCore<P> {
+    queue: JobQueue<(Arc<Slot>, P)>,
+    backpressure: Backpressure,
+    next_id: AtomicU64,
+}
+
+impl<P: RunJob> ServiceCore<P> {
+    pub(crate) fn new(capacity: usize, backpressure: Backpressure) -> Self {
+        ServiceCore { queue: JobQueue::new(capacity), backpressure, next_id: AtomicU64::new(1) }
+    }
+
+    pub(crate) fn submit(
+        &self,
+        deadline: Option<Duration>,
+        payload: P,
+    ) -> Result<JobHandle, PushError<P>> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot::new(deadline));
+        match self.queue.push((Arc::clone(&slot), payload), self.backpressure) {
+            Ok(()) => Ok(JobHandle::new(id, slot)),
+            Err(PushError::Full((_, p))) => Err(PushError::Full(p)),
+            Err(PushError::Closed((_, p))) => Err(PushError::Closed(p)),
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        self.queue.close();
+    }
+
+    pub(crate) fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// One worker: drain the queue until it closes. Cancelled or expired jobs
+/// are skipped at pickup; panics are caught so one bad compile cannot
+/// take a worker (or the queue behind it) down.
+pub(crate) fn worker_loop<P: RunJob>(core: &ServiceCore<P>) {
+    while let Some((slot, payload)) = core.queue.pop() {
+        let result = match slot.begin() {
+            Err(e) => Err(e),
+            Ok(()) => {
+                let ctl = JobCtl { slot: &slot };
+                match catch_unwind(AssertUnwindSafe(|| payload.run(&ctl))) {
+                    Ok(result) => result,
+                    // `&*panic`, not `&panic`: a `&Box<dyn Any>` would
+                    // itself unsize into the `dyn Any` and hide the
+                    // payload behind a second indirection.
+                    Err(panic) => Err(JobError::Panicked { message: panic_message(&*panic) }),
+                }
+            }
+        };
+        slot.finish(result);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// An owned service job: the request, ready to run on a 'static worker.
+struct OwnedJob(CompileRequest);
+
+impl RunJob for OwnedJob {
+    fn run(self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError> {
+        let OwnedJob(request) = self;
+        match request.pipeline {
+            Pipeline::Ecmas { config, mode } => {
+                // The staged pipeline with a checkpoint at every stage
+                // boundary: a cancel or deadline lapse stops the job at
+                // the next boundary instead of after the whole compile.
+                let compiler = Ecmas::new(config);
+                ctl.checkpoint()?;
+                let profiled = compiler.session(&request.circuit, &request.chip)?;
+                ctl.checkpoint()?;
+                let mapped = profiled.map()?;
+                ctl.checkpoint()?;
+                let scheduled = match mode {
+                    ScheduleMode::Auto => mapped.schedule_auto(),
+                    ScheduleMode::Limited => mapped.schedule(),
+                    ScheduleMode::ReSu => mapped.schedule_resu(),
+                }?;
+                Ok(scheduled.into_outcome())
+            }
+            Pipeline::Custom(compiler) => {
+                ctl.checkpoint()?;
+                Ok(compiler.compile_outcome(&request.circuit, &request.chip)?)
+            }
+        }
+    }
+}
+
+/// A persistent compile service: worker pool + bounded job queue.
+///
+/// Dropping (or [`shutdown`](Self::shutdown)ting) the service closes the
+/// queue, lets the workers drain every job already accepted, and joins
+/// them — submitted work is never silently lost; cancel handles first for
+/// a fast exit.
+///
+/// # Example
+///
+/// ```
+/// use ecmas_serve::{CompileRequest, CompileService, ServiceConfig};
+/// use ecmas_chip::{Chip, CodeModel};
+/// use ecmas_circuit::benchmarks::ghz;
+///
+/// let service = CompileService::new(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+/// let chip = Chip::min_viable(CodeModel::LatticeSurgery, 9, 3)?;
+/// let handle = service.submit(CompileRequest::new(ghz(9), chip))?;
+/// let outcome = handle.wait()?;
+/// assert_eq!(outcome.encoded.cycles(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct CompileService {
+    core: Arc<ServiceCore<OwnedJob>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CompileService {
+    /// Starts the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread cannot be spawned.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let (workers, capacity) = config.resolved();
+        let core = Arc::new(ServiceCore::new(capacity, config.backpressure));
+        let handles = (0..workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("ecmas-serve-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        CompileService { core, workers: handles }
+    }
+
+    /// Submits a request; returns immediately with the job's handle
+    /// (under [`Backpressure::Block`] "immediately" means once the
+    /// bounded queue has room).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] when the queue is full under
+    /// [`Backpressure::Reject`].
+    pub fn submit(&self, request: CompileRequest) -> Result<JobHandle, SubmitError> {
+        match self.core.submit(request.deadline, OwnedJob(request)) {
+            Ok(handle) => Ok(handle),
+            Err(PushError::Full(OwnedJob(r))) => Err(SubmitError::Saturated(Box::new(r))),
+            Err(PushError::Closed(_)) => unreachable!("queue closes only on shutdown/drop"),
+        }
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.core.queued()
+    }
+
+    /// Worker threads in the pool.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Graceful shutdown: stop accepting, drain accepted jobs, join the
+    /// workers. (Dropping the service does the same.)
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        self.core.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,9 +1,10 @@
-//! `ecmasc` — command-line front end: compile an OpenQASM 2.0 file to a
-//! surface-code schedule and report the result.
+//! `ecmasc` — command-line front end: compile OpenQASM 2.0 files to
+//! surface-code schedules and report the results.
 //!
 //! ```sh
 //! ecmasc program.qasm [--model dd|ls] [--chip min|4x|congested|sufficient]
 //!                     [--timeline N] [--json]
+//! ecmasc --jobs list.txt [--workers N] [--model …] [--chip …]
 //! ```
 //!
 //! By default the resource-adaptive pipeline runs (`Ecmas::compile_auto`:
@@ -13,27 +14,41 @@
 //! times, router path/conflict counters, the bandwidth-adjust decision,
 //! and the chosen algorithm — as a single JSON object on stdout, wrapped
 //! with the input's circuit/chip facts.
+//!
+//! `--jobs <file>` switches to the service path: every non-blank,
+//! non-`#` line of the file is a QASM path, all of them are submitted to
+//! an `ecmas-serve` `CompileService` (`--workers` threads, one per core
+//! by default), and one `--json`-shaped line per job is printed in
+//! submission order. For a long-running stdin-driven service, see
+//! `ecmasd`.
 
 use std::process::ExitCode;
 
-use ecmas::{validate_encoded, viz, Ecmas};
+use ecmas::serve::daemon::ChipKind;
+use ecmas::serve::json;
+use ecmas::{validate_encoded, viz, CompileRequest, CompileService, Ecmas, ServiceConfig};
 use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::Circuit;
 
 struct Args {
     path: String,
     model: CodeModel,
-    chip: String,
+    chip: ChipKind,
     timeline: u64,
     json: bool,
+    jobs: bool,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut model = CodeModel::DoubleDefect;
-    let mut chip = "min".to_string();
+    let mut chip = ChipKind::Min;
     let mut timeline = 0;
     let mut json = false;
+    let mut jobs = false;
+    let mut workers = 0usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--model" => {
@@ -44,12 +59,9 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--chip" => {
-                chip = args.next().ok_or("missing value for --chip")?;
-                if !matches!(chip.as_str(), "min" | "4x" | "congested" | "sufficient") {
-                    return Err(format!(
-                        "unknown chip {chip:?} (want min|4x|congested|sufficient)"
-                    ));
-                }
+                let v = args.next().ok_or("missing value for --chip")?;
+                chip = ChipKind::parse(&v)
+                    .ok_or(format!("unknown chip {v:?} (want min|4x|congested|sufficient)"))?;
             }
             "--timeline" => {
                 timeline = args
@@ -58,35 +70,97 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("missing/invalid value for --timeline")?;
             }
             "--json" => json = true,
+            "--jobs" => {
+                if path.is_some() {
+                    return Err("--jobs conflicts with a positional input file".into());
+                }
+                jobs = true;
+                let v = args.next().ok_or("missing value for --jobs")?;
+                path = Some(v);
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing/invalid value for --workers")?;
+            }
             "--help" | "-h" => {
                 return Err("usage: ecmasc <file.qasm> [--model dd|ls] \
-                            [--chip min|4x|congested|sufficient] [--timeline N] [--json]"
+                            [--chip min|4x|congested|sufficient] [--timeline N] [--json] | \
+                            ecmasc --jobs <list.txt> [--workers N] [--model …] [--chip …]"
                     .into());
             }
-            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other if path.is_none() && !jobs && !other.starts_with('-') => {
+                path = Some(other.to_string());
+            }
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(Args { path: path.ok_or("missing input file (see --help)")?, model, chip, timeline, json })
+    let path = path.ok_or("missing input file (see --help)")?;
+    Ok(Args { path, model, chip, timeline, json, jobs, workers })
 }
 
-/// Minimal JSON string escaping for the few free-text fields we emit.
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ecmas_circuit::qasm::parse(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The `--json` wrapper line: input facts + chip facts + the report.
+fn json_line(
+    path: &str,
+    circuit: &Circuit,
+    chip_kind: ChipKind,
+    chip: &Chip,
+    report: &str,
+) -> String {
+    format!(
+        "{{\"file\":\"{}\",\"qubits\":{},\"cnots\":{},\"depth\":{},\
+         \"model\":\"{}\",\"chip\":{{\"kind\":\"{}\",\"tile_rows\":{},\"tile_cols\":{},\
+         \"bandwidth\":{}}},\"report\":{report}}}",
+        json::escape(path),
+        circuit.qubits(),
+        circuit.cnot_count(),
+        circuit.depth(),
+        chip.model().label(),
+        chip_kind.label(),
+        chip.tile_rows(),
+        chip.tile_cols(),
+        chip.bandwidth(),
+    )
+}
+
+/// `--jobs`: fan a file of QASM paths through the compile service.
+fn run_jobs(args: &Args) -> Result<(), String> {
+    let list = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let paths: Vec<&str> =
+        list.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
+    let service =
+        CompileService::new(ServiceConfig { workers: args.workers, ..ServiceConfig::default() });
+    let mut submitted = Vec::new();
+    for path in &paths {
+        let circuit = load_circuit(path)?;
+        let chip = args.chip.build(args.model, &circuit).map_err(|e| e.to_string())?;
+        let handle = service
+            .submit(CompileRequest::new(circuit.clone(), chip.clone()))
+            .map_err(|e| e.to_string())?;
+        submitted.push((path, circuit, chip, handle));
+    }
+    for (path, circuit, chip, handle) in submitted {
+        let outcome = handle.wait().map_err(|e| format!("{path}: {e}"))?;
+        validate_encoded(&circuit, &outcome.encoded)
+            .map_err(|e| format!("internal: invalid schedule for {path}: {e}"))?;
+        println!("{}", json_line(path, &circuit, args.chip, &chip, &outcome.report.to_json()));
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let source = std::fs::read_to_string(&args.path)
-        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
-    let circuit = ecmas_circuit::qasm::parse(&source).map_err(|e| e.to_string())?;
+    if args.jobs {
+        return run_jobs(&args);
+    }
+    let circuit = load_circuit(&args.path)?;
     if !args.json {
         eprintln!(
             "parsed {}: {} qubits, {} CNOTs, {} single-qubit gates, {} T gates, depth α = {}",
@@ -99,16 +173,7 @@ fn run() -> Result<(), String> {
         );
     }
 
-    let chip = match args.chip.as_str() {
-        "min" => Chip::min_viable(args.model, circuit.qubits(), 3),
-        "4x" => Chip::four_x(args.model, circuit.qubits(), 3),
-        "congested" => Chip::congested(args.model, circuit.qubits(), 3),
-        _ => {
-            let gpm = ecmas::para_finding(&circuit.dag()).gpm();
-            Chip::sufficient(args.model, circuit.qubits(), gpm.max(1), 3)
-        }
-    }
-    .map_err(|e| e.to_string())?;
+    let chip = args.chip.build(args.model, &circuit).map_err(|e| e.to_string())?;
 
     // The resource-adaptive session pipeline: profile, map, then pick
     // limited vs ReSu from capacity vs ĝPM. `--chip sufficient` sizes the
@@ -119,19 +184,8 @@ fn run() -> Result<(), String> {
 
     if args.json {
         println!(
-            "{{\"file\":\"{}\",\"qubits\":{},\"cnots\":{},\"depth\":{},\
-             \"model\":\"{}\",\"chip\":{{\"kind\":\"{}\",\"tile_rows\":{},\"tile_cols\":{},\
-             \"bandwidth\":{}}},\"report\":{}}}",
-            json_escape(&args.path),
-            circuit.qubits(),
-            circuit.cnot_count(),
-            circuit.depth(),
-            args.model.label(),
-            json_escape(&args.chip),
-            chip.tile_rows(),
-            chip.tile_cols(),
-            chip.bandwidth(),
-            outcome.report.to_json(),
+            "{}",
+            json_line(&args.path, &circuit, args.chip, &chip, &outcome.report.to_json())
         );
         return Ok(());
     }
@@ -140,8 +194,8 @@ fn run() -> Result<(), String> {
     println!(
         "model={} chip={} ({}×{} tiles, bandwidth {}) algorithm={} Δ = {} cycles \
          ({} events, {} cut modifications)",
-        args.model.label(),
-        args.chip,
+        chip.model().label(),
+        args.chip.label(),
         chip.tile_rows(),
         chip.tile_cols(),
         chip.bandwidth(),

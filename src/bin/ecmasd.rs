@@ -1,0 +1,169 @@
+//! `ecmasd` — the Ecmas compile daemon: newline-delimited JSON over
+//! stdin/stdout, backed by the `ecmas-serve` worker pool.
+//!
+//! ```sh
+//! ecmasd [--model dd|ls] [--chip min|4x|congested|sufficient]
+//!        [--workers N] [--queue N] [--reject]
+//! ```
+//!
+//! One request object per input line (`submit` / `status` / `cancel` /
+//! `result` / `drain` — see `ecmas_serve::daemon` for the schema), one
+//! response object per output line. At EOF the daemon drains: every
+//! unreported job gets its `result` line (the same `CompileReport` JSON
+//! `ecmasc --json` emits) followed by a `drained` summary. The job queue
+//! is bounded: when it is full, reading stdin stalls — backpressure
+//! propagates out through the pipe — unless `--reject` sheds load
+//! instead.
+//!
+//! A second mode generates work rather than serving it:
+//!
+//! ```sh
+//! ecmasd --emit-stress 1000 --seed 7 [--qubits-max 49] [--depth-max 1500]
+//!        [--cancel-every 50] [--deadline-ms 60000]
+//! ```
+//!
+//! prints a deterministic seeded `StressWorkload` as a ready-to-pipe job
+//! stream, so a full service exercise is one shell line:
+//!
+//! ```sh
+//! ecmasd --emit-stress 1000 --seed 7 | ecmasd --chip congested --model ls
+//! ```
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use ecmas::serve::daemon::{stress_stream, ChipKind, Daemon, DaemonOptions};
+use ecmas::serve::Backpressure;
+use ecmas_chip::CodeModel;
+use ecmas_circuit::random::StressSpec;
+
+struct Args {
+    options: DaemonOptions,
+    emit_stress: Option<usize>,
+    seed: u64,
+    qubits_max: usize,
+    depth_max: usize,
+    cancel_every: Option<usize>,
+    deadline_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut options = DaemonOptions::default();
+    let mut emit_stress = None;
+    let mut seed = 0u64;
+    let mut qubits_max = 49usize;
+    let mut depth_max = 1500usize;
+    let mut cancel_every = None;
+    let mut deadline_ms = None;
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--model" => {
+                options.model = match value(&mut args, "--model")?.as_str() {
+                    "dd" | "double-defect" => CodeModel::DoubleDefect,
+                    "ls" | "lattice-surgery" => CodeModel::LatticeSurgery,
+                    other => return Err(format!("unknown model {other:?} (want dd|ls)")),
+                };
+            }
+            "--chip" => {
+                let v = value(&mut args, "--chip")?;
+                options.chip = ChipKind::parse(&v).ok_or_else(|| {
+                    format!("unknown chip {v:?} (want min|4x|congested|sufficient)")
+                })?;
+            }
+            "--workers" => {
+                options.service.workers = parse_num(&value(&mut args, "--workers")?, "--workers")?;
+            }
+            "--queue" => {
+                options.service.queue_capacity =
+                    parse_num(&value(&mut args, "--queue")?, "--queue")?;
+            }
+            "--reject" => options.service.backpressure = Backpressure::Reject,
+            "--emit-stress" => {
+                emit_stress =
+                    Some(parse_num(&value(&mut args, "--emit-stress")?, "--emit-stress")?);
+            }
+            "--seed" => seed = parse_num(&value(&mut args, "--seed")?, "--seed")?,
+            "--qubits-max" => {
+                qubits_max = parse_num(&value(&mut args, "--qubits-max")?, "--qubits-max")?;
+            }
+            "--depth-max" => {
+                depth_max = parse_num(&value(&mut args, "--depth-max")?, "--depth-max")?;
+            }
+            "--cancel-every" => {
+                cancel_every =
+                    Some(parse_num(&value(&mut args, "--cancel-every")?, "--cancel-every")?);
+            }
+            "--deadline-ms" => {
+                deadline_ms =
+                    Some(parse_num(&value(&mut args, "--deadline-ms")?, "--deadline-ms")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: ecmasd [--model dd|ls] \
+                            [--chip min|4x|congested|sufficient] [--workers N] [--queue N] \
+                            [--reject] | ecmasd --emit-stress N [--seed S] [--qubits-max Q] \
+                            [--depth-max D] [--cancel-every K] [--deadline-ms MS]"
+                    .into());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Args { options, emit_stress, seed, qubits_max, depth_max, cancel_every, deadline_ms })
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("invalid value {value:?} for {flag}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    if let Some(jobs) = args.emit_stress {
+        if args.qubits_max < 4 {
+            return Err("--qubits-max must be at least 4 (a stress layer needs two pairs)".into());
+        }
+        if args.depth_max == 0 {
+            return Err("--depth-max must be positive".into());
+        }
+        let base = StressSpec::new(jobs, args.qubits_max, args.seed);
+        let spec = StressSpec {
+            max_depth: args.depth_max,
+            min_depth: base.min_depth.min(args.depth_max),
+            ..base
+        };
+        print!("{}", stress_stream(&spec, args.cancel_every, args.deadline_ms));
+        return Ok(());
+    }
+
+    let mut daemon = Daemon::new(args.options);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        for response in daemon.handle_line(&line) {
+            writeln!(out, "{response}").map_err(|e| format!("stdout: {e}"))?;
+        }
+        out.flush().map_err(|e| format!("stdout: {e}"))?;
+    }
+    if daemon.has_pending() {
+        for response in daemon.drain() {
+            writeln!(out, "{response}").map_err(|e| format!("stdout: {e}"))?;
+        }
+        out.flush().map_err(|e| format!("stdout: {e}"))?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("ecmasd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

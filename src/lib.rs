@@ -1,19 +1,26 @@
 //! **Ecmas** — the umbrella facade of the workspace.
 //!
 //! This crate re-exports the whole public surface of
-//! [`ecmas_core`] under the short name every consumer uses (`ecmas::…`),
-//! and owns the workspace-level artifacts: the `ecmasc` CLI
-//! (`src/bin/ecmasc.rs`), the runnable `examples/`, and the cross-crate
-//! integration tests in `tests/`.
+//! [`ecmas_core`] and the [`ecmas_serve`] service layer under the short
+//! name every consumer uses (`ecmas::…`), and owns the workspace-level
+//! artifacts: the `ecmasc` CLI and `ecmasd` daemon (`src/bin/`), the
+//! runnable `examples/`, and the cross-crate integration tests in
+//! `tests/`.
 //!
 //! Start from [`Ecmas`] (the pipeline driver), [`Ecmas::session`] (the
 //! staged API: profile → map → schedule, with per-stage artifacts,
 //! overrides, and a structured [`CompileReport`] per run), and
 //! [`EcmasConfig`] (every ablation knob of the paper's Tables II–V), or
-//! from the repo-level `README.md` for the map of the seven implementation
-//! crates. The [`Compiler`] trait is the interface every compiler in the
-//! workspace (Ecmas and both baselines) implements; [`compile_batch`]
-//! fans independent compilations across threads. The pipeline itself —
+//! from the repo-level `README.md` for the map of the eight
+//! implementation crates. The [`Compiler`] trait is the interface every
+//! compiler in the workspace (Ecmas and both baselines) implements.
+//!
+//! Workload-facing traffic goes through the service layer
+//! ([`serve`](mod@serve)): [`CompileService`] owns a persistent worker
+//! pool over a bounded job queue and hands back [`JobHandle`]s with
+//! poll/wait/cancel and deadline support; [`compile_batch`] is the batch
+//! convenience over the same machinery; the `ecmasd` binary speaks the
+//! service's newline-delimited JSON protocol. The pipeline itself —
 //! profiling, mapping, cut-type initialization, scheduling, validation —
 //! is documented in depth on [`ecmas_core`].
 //!
@@ -44,8 +51,18 @@ pub use ecmas_core::{
 };
 
 pub use ecmas_core::{
-    compile_batch, para_finding, schedule_limited, schedule_sufficient, validate_encoded,
-    Algorithm, CompileError, CompileOutcome, CompileReport, Compiler, CutInitStrategy, CutPolicy,
-    CutType, Ecmas, EcmasConfig, EncodedCircuit, Event, EventKind, ExecutionScheme, GateOrder,
-    LocationStrategy, ScheduleConfig, ValidateError,
+    para_finding, schedule_limited, schedule_sufficient, validate_encoded, Algorithm, CompileError,
+    CompileOutcome, CompileReport, Compiler, CutInitStrategy, CutPolicy, CutType, Ecmas,
+    EcmasConfig, EncodedCircuit, Event, EventKind, ExecutionScheme, GateOrder, LocationStrategy,
+    ScheduleConfig, ValidateError,
+};
+
+/// The service layer (`ecmas-serve`), re-exported whole: job queue,
+/// handles, deadlines, batch facades, and the `ecmasd` protocol engine.
+pub use ecmas_serve as serve;
+
+pub use ecmas_serve::{
+    compile_batch, compile_batch_with_threads, compile_jobs, compile_jobs_with_threads,
+    Backpressure, BatchJob, CompileRequest, CompileService, JobError, JobHandle, JobId, JobStatus,
+    ScheduleMode, ServiceConfig, SubmitError,
 };

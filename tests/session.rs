@@ -2,9 +2,10 @@
 //! resource-adaptive auto choice, parallel batch compilation, and the
 //! congested-chip ablations the one-shot API could not express.
 
-use ecmas::session::{compile_batch_with_threads, Algorithm};
+use ecmas::session::Algorithm;
 use ecmas::{
-    compile_batch, validate_encoded, Compiler, Ecmas, EcmasConfig, GateOrder, LocationStrategy,
+    compile_batch, compile_batch_with_threads, validate_encoded, Compiler, Ecmas, EcmasConfig,
+    GateOrder, LocationStrategy,
 };
 use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};

@@ -3,9 +3,10 @@
 //! pipeline's stages should each stay cheap at benchmark scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ecmas::{para_finding, Ecmas, EcmasConfig};
+use ecmas::{compile_jobs, para_finding, BatchJob, Ecmas, EcmasConfig};
 use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::random::{StressSpec, StressWorkload};
 use ecmas_circuit::{benchmarks, random};
 use ecmas_partition::{place, WeightedGraph};
 use ecmas_route::{Disjointness, RouteRequest, Router};
@@ -69,6 +70,83 @@ fn bench_router(c: &mut Criterion) {
     });
 }
 
+/// The congested worst case the reachability cache targets: qft_n50's
+/// all-to-all pair traffic on `Chip::congested` (16×16 tiles, every
+/// channel at the bandwidth-1 floor), with the mapped tiles spread far
+/// apart. Every cycle submits a saturating 50-request batch; a handful
+/// route, the channels jam, and the rest provably cannot — without the
+/// cache each of those failures floods the entire reachable region
+/// before returning `None`.
+fn bench_congested_router(c: &mut Criterion) {
+    let qubits = 50usize;
+    let chip = Chip::congested(CodeModel::DoubleDefect, qubits, 3).unwrap();
+    let stride = chip.tile_slots() / qubits; // spread the mapping out
+    let slot = |q: usize| q * stride;
+    // qft-style traffic: each cycle pairs every qubit i with qubits i+k
+    // and i+k+11 — a 100-request saturating batch per cycle (roughly 40
+    // route, the rest fail; the cache answers >90% of the failures).
+    let cycles = 8u64;
+    let batches: Vec<Vec<RouteRequest>> = (0..cycles)
+        .map(|cycle| {
+            let k = cycle as usize + 1;
+            (0..qubits)
+                .flat_map(|i| {
+                    [
+                        RouteRequest::route(slot(i), slot((i + k) % qubits), 1),
+                        RouteRequest::route(slot(i), slot((i + k + 11) % qubits), 1),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("router/qft_n50_congested", |b| {
+        b.iter(|| {
+            let mut router = Router::new(chip.grid(), Disjointness::Node);
+            for q in 0..qubits {
+                router.block_tile(slot(q));
+            }
+            let mut routed = 0;
+            let mut outcomes = Vec::new();
+            for (cycle, batch) in batches.iter().enumerate() {
+                router.route_ready_by_distance_into(batch, cycle as u64, &mut outcomes);
+                routed += outcomes.iter().flatten().count();
+            }
+            (routed, router.stats().cache_hits)
+        });
+    });
+}
+
+/// Service-layer throughput on a congested chip: a 100-job seeded
+/// stress mix (widths 8–25, depths 40–160, bursty arrival order) fanned
+/// out through `compile_jobs` — the dispatch machine `ecmasd` and the
+/// table harnesses share. One iteration is the whole drain.
+fn bench_service_stress(c: &mut Criterion) {
+    let chip = Chip::congested(CodeModel::LatticeSurgery, 25, 3).unwrap();
+    let spec = StressSpec {
+        jobs: 100,
+        min_qubits: 8,
+        max_qubits: 25,
+        min_depth: 40,
+        max_depth: 160,
+        mean_burst: 8,
+        seed: 7,
+    };
+    let circuits: Vec<_> =
+        StressWorkload::new(&spec).jobs().iter().map(|job| job.circuit()).collect();
+    let compiler = Ecmas::new(EcmasConfig::default());
+    let jobs: Vec<BatchJob<'_>> = circuits
+        .iter()
+        .map(|circuit| BatchJob { compiler: &compiler, circuit, chip: &chip })
+        .collect();
+    c.bench_function("service/stress_100_jobs", |b| {
+        b.iter(|| {
+            let outcomes = compile_jobs(&jobs);
+            assert!(outcomes.iter().all(Result::is_ok), "stress jobs must all compile");
+            outcomes.len()
+        });
+    });
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile");
     for name in ["qft_n10", "ising_n10", "swap_test_n25"] {
@@ -110,7 +188,9 @@ criterion_group!(
     bench_para_finding,
     bench_placement,
     bench_router,
+    bench_congested_router,
     bench_end_to_end,
-    bench_chip_size_scaling
+    bench_chip_size_scaling,
+    bench_service_stress
 );
 criterion_main!(benches);

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::{Circuit, GateId};
@@ -102,7 +103,7 @@ impl Event {
 /// objective is the cycle count Δ ([`cycles`](Self::cycles)).
 #[derive(Clone, Debug)]
 pub struct EncodedCircuit {
-    chip: Chip,
+    chip: Arc<Chip>,
     mapping: Vec<usize>,
     initial_cuts: Option<Vec<CutType>>,
     events: Vec<Event>,
@@ -121,6 +122,20 @@ impl EncodedCircuit {
         initial_cuts: Option<Vec<CutType>>,
         events: Vec<Event>,
     ) -> Self {
+        Self::new_shared(Arc::new(chip), mapping, initial_cuts, events)
+    }
+
+    /// [`new`](Self::new) over an already-shared chip — the form the
+    /// schedulers use, so a compilation carries one `Arc<Chip>` from the
+    /// session through every schedule candidate into the result instead
+    /// of cloning the chip per run.
+    #[must_use]
+    pub fn new_shared(
+        chip: Arc<Chip>,
+        mapping: Vec<usize>,
+        initial_cuts: Option<Vec<CutType>>,
+        events: Vec<Event>,
+    ) -> Self {
         let cycles = events.iter().map(Event::end).max().unwrap_or(0);
         EncodedCircuit { chip, mapping, initial_cuts, events, cycles }
     }
@@ -128,7 +143,7 @@ impl EncodedCircuit {
     /// The (possibly bandwidth-adjusted) chip the schedule targets.
     #[must_use]
     pub fn chip(&self) -> &Chip {
-        &self.chip
+        self.chip.as_ref()
     }
 
     /// Tile slot of each logical qubit.

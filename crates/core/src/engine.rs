@@ -18,6 +18,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::{GateDag, GateId};
@@ -111,10 +112,28 @@ pub fn schedule_limited(
 /// # Errors
 ///
 /// As [`schedule_limited`].
-#[allow(clippy::too_many_lines)]
 pub fn schedule_limited_with_stats(
     dag: &GateDag,
     chip: &Chip,
+    mapping: &[usize],
+    initial_cuts: Option<&[CutType]>,
+    config: ScheduleConfig,
+) -> Result<(EncodedCircuit, RouterStats), CompileError> {
+    schedule_limited_shared(dag, &Arc::new(chip.clone()), mapping, initial_cuts, config)
+}
+
+/// [`schedule_limited_with_stats`] over an already-shared chip — the
+/// session pipeline's entry point: the one `Arc<Chip>` taken at session
+/// start flows through every schedule candidate into the
+/// [`EncodedCircuit`] without another chip clone.
+///
+/// # Errors
+///
+/// As [`schedule_limited`].
+#[allow(clippy::too_many_lines)]
+pub fn schedule_limited_shared(
+    dag: &GateDag,
+    chip: &Arc<Chip>,
     mapping: &[usize],
     initial_cuts: Option<&[CutType]>,
     config: ScheduleConfig,
@@ -136,12 +155,24 @@ pub fn schedule_limited_with_stats(
         router.block_tile(slot);
     }
 
-    let criticality: Vec<usize> = (0..dag.len()).map(|g| dag.criticality(g)).collect();
-    let descendants = if config.order == GateOrder::Priority && !dag.is_empty() {
-        dag.descendant_counts()
-    } else {
-        vec![0; dag.len()]
-    };
+    // The per-gate priority key is cycle-invariant — criticality and
+    // descendant counts are DAG properties, the tile distance depends
+    // only on the fixed mapping — so it is computed once here instead of
+    // being rebuilt inside the sort comparator on every one of up to
+    // thousands of cycles.
+    let priority: Vec<(Reverse<usize>, Reverse<usize>, usize)> =
+        if config.order == GateOrder::Priority && !dag.is_empty() {
+            let descendants = dag.descendant_counts();
+            (0..dag.len())
+                .map(|g| {
+                    let gate = dag.gate(g);
+                    let dist = chip.tile_distance(mapping[gate.control], mapping[gate.target]);
+                    (Reverse(dag.criticality(g)), Reverse(descendants[g] as usize), dist)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
     // Remaining CNOT multiplicity per qubit pair: the Adaptive cut policy's
     // look-ahead. Decremented as gates complete.
@@ -172,6 +203,10 @@ pub fn schedule_limited_with_stats(
     // its modify/direct decision reads state the batch updates.
     let mut batch: Vec<RouteRequest> = Vec::new();
     let mut batch_items: Vec<(usize, GateId)> = Vec::new();
+    // More per-cycle scratch, reused so the steady-state cycle loop
+    // allocates nothing: batch outcomes and the scheduled-index list.
+    let mut outcomes: Vec<Option<ecmas_route::Path>> = Vec::new();
+    let mut scheduled: Vec<usize> = Vec::new();
     let mut done = 0usize;
     let mut cycle: u64 = 0;
     // Generous stall bound: every gate needs at most a few cycles once
@@ -199,18 +234,16 @@ pub fn schedule_limited_with_stats(
         }
 
         match config.order {
-            GateOrder::Priority => active.sort_by_key(|&g| {
-                // Criticality, then descendant count (the paper's priority
-                // function); remaining ties go to shorter gates first so a
-                // long greedy path does not block several short ones.
-                let gate = dag.gate(g);
-                let dist = chip.tile_distance(mapping[gate.control], mapping[gate.target]);
-                (Reverse(criticality[g]), Reverse(descendants[g] as usize), dist, g)
-            }),
+            // Criticality, then descendant count (the paper's priority
+            // function); remaining ties go to shorter gates first so a
+            // long greedy path does not block several short ones. The
+            // gate id makes the key total, so the allocation-free
+            // unstable sort is deterministic.
+            GateOrder::Priority => active.sort_unstable_by_key(|&g| (priority[g], g)),
             GateOrder::CircuitOrder => active.sort_unstable(),
         }
 
-        let mut scheduled: Vec<usize> = Vec::new(); // indices into `active`
+        scheduled.clear(); // indices into `active`
         for (idx, &g) in active.iter().enumerate() {
             let gate = dag.gate(g);
             let (a, b) = (gate.control, gate.target);
@@ -243,6 +276,7 @@ pub fn schedule_limited_with_stats(
                 cycle,
                 batch: &mut batch,
                 batch_items: &mut batch_items,
+                outcomes: &mut outcomes,
                 events: &mut events,
                 qubit_free: &mut qubit_free,
                 remaining: &mut remaining,
@@ -306,6 +340,7 @@ pub fn schedule_limited_with_stats(
             cycle,
             batch: &mut batch,
             batch_items: &mut batch_items,
+            outcomes: &mut outcomes,
             events: &mut events,
             qubit_free: &mut qubit_free,
             remaining: &mut remaining,
@@ -325,8 +360,8 @@ pub fn schedule_limited_with_stats(
         cycle += 1;
     }
 
-    let encoded = EncodedCircuit::new(
-        chip.clone(),
+    let encoded = EncodedCircuit::new_shared(
+        Arc::clone(chip),
         mapping.to_vec(),
         initial_cuts.map(<[CutType]>::to_vec),
         events,
@@ -345,6 +380,7 @@ struct FlushCtx<'a> {
     cycle: u64,
     batch: &'a mut Vec<RouteRequest>,
     batch_items: &'a mut Vec<(usize, GateId)>,
+    outcomes: &'a mut Vec<Option<ecmas_route::Path>>,
     events: &'a mut Vec<Event>,
     qubit_free: &'a mut [u64],
     remaining: &'a mut [u32],
@@ -364,8 +400,8 @@ fn flush_routed_batch(ctx: FlushCtx<'_>) {
     if ctx.batch.is_empty() {
         return;
     }
-    let outcomes = ctx.router.route_ready(ctx.batch, ctx.cycle);
-    for (&(idx, g), outcome) in ctx.batch_items.iter().zip(outcomes) {
+    ctx.router.route_ready_into(ctx.batch, ctx.cycle, ctx.outcomes);
+    for (&(idx, g), outcome) in ctx.batch_items.iter().zip(ctx.outcomes.drain(..)) {
         let Some(path) = outcome else { continue };
         let gate = ctx.dag.gate(g);
         let (a, b) = (gate.control, gate.target);

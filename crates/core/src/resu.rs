@@ -14,10 +14,12 @@
 //!   By Lemma 1 every batch spans at least two layers, giving the paper's
 //!   5/2-approximation (Theorem 3).
 
+use std::sync::Arc;
+
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::{GateDag, GateId};
 use ecmas_partition::ParityDsu;
-use ecmas_route::{Disjointness, RouteRequest, Router, RouterStats};
+use ecmas_route::{Disjointness, Path, RouteRequest, Router, RouterStats};
 
 use crate::cut::CutType;
 use crate::encoded::{EncodedCircuit, Event, EventKind};
@@ -66,6 +68,23 @@ pub fn schedule_sufficient_with_stats(
     mapping: &[usize],
     initial_cuts: Option<&[CutType]>,
 ) -> Result<(EncodedCircuit, RouterStats), CompileError> {
+    schedule_sufficient_shared(dag, scheme, &Arc::new(chip.clone()), mapping, initial_cuts)
+}
+
+/// [`schedule_sufficient_with_stats`] over an already-shared chip — the
+/// session pipeline's entry point, so the result reuses the session's
+/// `Arc<Chip>` instead of cloning the chip into the schedule.
+///
+/// # Errors
+///
+/// As [`schedule_sufficient_with_stats`].
+pub fn schedule_sufficient_shared(
+    dag: &GateDag,
+    scheme: &ExecutionScheme,
+    chip: &Arc<Chip>,
+    mapping: &[usize],
+    initial_cuts: Option<&[CutType]>,
+) -> Result<(EncodedCircuit, RouterStats), CompileError> {
     match (chip.model(), initial_cuts) {
         (CodeModel::LatticeSurgery, Some(_)) => Err(CompileError::CutTypesMismatch),
         (CodeModel::DoubleDefect, Some(cuts)) if cuts.len() != dag.qubits() => {
@@ -81,7 +100,7 @@ pub fn schedule_sufficient_with_stats(
 fn schedule_sufficient_ls(
     dag: &GateDag,
     scheme: &ExecutionScheme,
-    chip: &Chip,
+    chip: &Arc<Chip>,
     mapping: &[usize],
 ) -> Result<(EncodedCircuit, RouterStats), CompileError> {
     let mut router = Router::new(chip.grid(), Disjointness::Edge);
@@ -90,19 +109,38 @@ fn schedule_sufficient_ls(
     }
     let mut events = Vec::new();
     let mut cycle: u64 = 0;
+    let mut scratch = LayerScratch::default();
     for layer in scheme.layers() {
         // The whole layer goes to the router as one batch per cycle; the
         // router serves it shortest-estimated-distance first, so a long
         // greedy path laid down early cannot block several short ones
         // (Theorem 2 guarantees the paths exist; the order determines
         // whether greedy finds them).
-        cycle =
-            route_layer_batched(&mut router, dag, mapping, layer, cycle, &mut events, |path| {
-                EventKind::LatticeCnot { path }
-            })?;
+        cycle = route_layer_batched(
+            &mut router,
+            dag,
+            mapping,
+            layer,
+            cycle,
+            &mut events,
+            &mut scratch,
+            |path| EventKind::LatticeCnot { path },
+        )?;
     }
-    let encoded = EncodedCircuit::new(chip.clone(), mapping.to_vec(), None, events);
+    let encoded = EncodedCircuit::new_shared(Arc::clone(chip), mapping.to_vec(), None, events);
     Ok((encoded, router.stats()))
+}
+
+/// Reusable buffers for [`route_layer_batched`]: the pending/spill gate
+/// lists, the per-cycle request batch, and the outcome scratch — reused
+/// across every layer of a schedule so the steady-state layer loop
+/// allocates nothing but the paths it emits.
+#[derive(Default)]
+struct LayerScratch {
+    pending: Vec<GateId>,
+    still: Vec<GateId>,
+    requests: Vec<RouteRequest>,
+    outcomes: Vec<Option<Path>>,
 }
 
 /// Routes every gate of `layer` starting at `cycle`, one
@@ -111,6 +149,7 @@ fn schedule_sufficient_ls(
 ///
 /// An empty layer (identity padding in the execution scheme) still
 /// consumes its clock cycle.
+#[allow(clippy::too_many_arguments)]
 fn route_layer_batched(
     router: &mut Router,
     dag: &GateDag,
@@ -118,29 +157,29 @@ fn route_layer_batched(
     layer: &[GateId],
     mut cycle: u64,
     events: &mut Vec<Event>,
-    kind: impl Fn(ecmas_route::Path) -> EventKind,
+    scratch: &mut LayerScratch,
+    kind: impl Fn(Path) -> EventKind,
 ) -> Result<u64, CompileError> {
-    let mut pending: Vec<GateId> = layer.to_vec();
-    while !pending.is_empty() {
-        let requests: Vec<RouteRequest> = pending
-            .iter()
-            .map(|&g| {
-                let gate = dag.gate(g);
-                RouteRequest::route(mapping[gate.control], mapping[gate.target], 1)
-            })
-            .collect();
-        let outcomes = router.route_ready_by_distance(&requests, cycle);
-        let mut still: Vec<GateId> = Vec::new();
-        for (&g, outcome) in pending.iter().zip(outcomes) {
+    scratch.pending.clear();
+    scratch.pending.extend_from_slice(layer);
+    while !scratch.pending.is_empty() {
+        scratch.requests.clear();
+        scratch.requests.extend(scratch.pending.iter().map(|&g| {
+            let gate = dag.gate(g);
+            RouteRequest::route(mapping[gate.control], mapping[gate.target], 1)
+        }));
+        router.route_ready_by_distance_into(&scratch.requests, cycle, &mut scratch.outcomes);
+        scratch.still.clear();
+        for (&g, outcome) in scratch.pending.iter().zip(scratch.outcomes.drain(..)) {
             match outcome {
                 Some(path) => events.push(Event { gate: Some(g), start: cycle, kind: kind(path) }),
-                None => still.push(g),
+                None => scratch.still.push(g),
             }
         }
-        if still.len() == pending.len() {
-            return Err(CompileError::ScheduleStuck { cycle, pending: still.len() });
+        if scratch.still.len() == scratch.pending.len() {
+            return Err(CompileError::ScheduleStuck { cycle, pending: scratch.still.len() });
         }
-        pending = still;
+        std::mem::swap(&mut scratch.pending, &mut scratch.still);
         cycle += 1;
     }
     if layer.is_empty() {
@@ -153,7 +192,7 @@ fn route_layer_batched(
 fn schedule_sufficient_dd(
     dag: &GateDag,
     scheme: &ExecutionScheme,
-    chip: &Chip,
+    chip: &Arc<Chip>,
     mapping: &[usize],
     initial_cuts: Option<&[CutType]>,
 ) -> Result<(EncodedCircuit, RouterStats), CompileError> {
@@ -165,6 +204,7 @@ fn schedule_sufficient_dd(
     let layers = scheme.layers();
     let mut events = Vec::new();
     let mut cycle: u64 = 0;
+    let mut scratch = LayerScratch::default();
     // Seeded cuts make the first batch pay for any remap it needs; `None`
     // lets the first batch's coloring come for free.
     let mut cuts: Option<Vec<CutType>> = initial_cuts.map(<[CutType]>::to_vec);
@@ -253,13 +293,14 @@ fn schedule_sufficient_dd(
                 layer,
                 cycle,
                 &mut events,
+                &mut scratch,
                 |path| EventKind::Braid { path },
             )?;
         }
         i = j;
     }
 
-    let encoded = EncodedCircuit::new(chip.clone(), mapping.to_vec(), initial, events);
+    let encoded = EncodedCircuit::new_shared(Arc::clone(chip), mapping.to_vec(), initial, events);
     Ok((encoded, router.stats()))
 }
 

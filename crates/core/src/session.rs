@@ -46,6 +46,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ecmas_chip::{Chip, CodeModel};
@@ -55,11 +56,11 @@ pub use ecmas_route::RouterStats;
 use crate::compiler::Ecmas;
 use crate::cut::{initialize_cuts, CutType};
 use crate::encoded::EncodedCircuit;
-use crate::engine::{schedule_limited_with_stats, ScheduleConfig};
+use crate::engine::{schedule_limited_shared, ScheduleConfig};
 use crate::error::CompileError;
 use crate::mapping::{adjust_bandwidth, initial_mapping, LocationStrategy};
 use crate::profile::{para_finding, ExecutionScheme};
-use crate::resu::schedule_sufficient_with_stats;
+use crate::resu::schedule_sufficient_shared;
 
 /// Which scheduling algorithm produced the encoded circuit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -182,7 +183,8 @@ impl CompileReport {
                 "\"schedule\":{:.3},\"total\":{:.3}}},",
                 "\"router\":{{\"paths_found\":{},\"conflicts\":{},",
                 "\"cells_expanded\":{},\"pruned_expansions\":{},",
-                "\"path_cells\":{}}}}}"
+                "\"path_cells\":{},\"failed_searches\":{},",
+                "\"cache_hits\":{},\"recolor_cells\":{}}}}}"
             ),
             self.algorithm.label(),
             self.cycles,
@@ -201,6 +203,9 @@ impl CompileReport {
             self.router.cells_expanded,
             self.router.pruned_expansions,
             self.router.path_cells,
+            self.router.failed_searches,
+            self.router.cache_hits,
+            self.router.recolor_cells,
         )
     }
 }
@@ -260,7 +265,10 @@ impl Compiler for Ecmas {
 pub struct Profiled<'c> {
     config: crate::compiler::EcmasConfig,
     circuit: &'c Circuit,
-    chip: Chip,
+    // Shared, not owned: this one Arc flows through every scheduling run
+    // into the resulting `EncodedCircuit`, so a compilation clones the
+    // chip exactly once (here), however many schedule candidates it runs.
+    chip: Arc<Chip>,
     dag: GateDag,
     comm: CommGraph,
     scheme: ExecutionScheme,
@@ -281,7 +289,7 @@ impl<'c> Profiled<'c> {
         Ok(Profiled {
             config,
             circuit,
-            chip: chip.clone(),
+            chip: Arc::new(chip.clone()),
             dag,
             comm,
             scheme,
@@ -328,7 +336,7 @@ impl<'c> Profiled<'c> {
     /// Returns [`CompileError::TooManyQubits`] if it does not.
     pub fn with_chip(mut self, chip: Chip) -> Result<Self, CompileError> {
         check_fit(self.circuit.qubits(), &chip)?;
-        self.chip = chip;
+        self.chip = Arc::new(chip);
         Ok(self)
     }
 
@@ -482,7 +490,7 @@ impl<'c> Mapped<'c> {
             cut_policy: self.profiled.config.cut_policy,
         };
         let chip = &self.profiled.chip;
-        let (base, base_stats) = schedule_limited_with_stats(
+        let (base, base_stats) = schedule_limited_shared(
             &self.profiled.dag,
             chip,
             &self.mapping,
@@ -498,12 +506,12 @@ impl<'c> Mapped<'c> {
             // the cheaper schedule wins (the paper's
             // select-best-candidate spirit, Fig. 10c).
             let adjusted_chip = adjust_bandwidth(chip, &self.mapping, &self.profiled.comm);
-            if adjusted_chip == *chip {
+            if adjusted_chip == **chip {
                 (base, base_stats, BandwidthDecision::Unchanged)
             } else {
-                let (adjusted, adj_stats) = schedule_limited_with_stats(
+                let (adjusted, adj_stats) = schedule_limited_shared(
                     &self.profiled.dag,
-                    &adjusted_chip,
+                    &Arc::new(adjusted_chip),
                     &self.mapping,
                     self.cuts.as_deref(),
                     config,
@@ -537,18 +545,18 @@ impl<'c> Mapped<'c> {
         let chip = &self.profiled.chip;
         let (chip, decision) = if self.profiled.config.adjust_bandwidth {
             let adjusted = adjust_bandwidth(chip, &self.mapping, &self.profiled.comm);
-            if adjusted == *chip {
-                (adjusted, BandwidthDecision::Unchanged)
+            if adjusted == **chip {
+                (Arc::clone(chip), BandwidthDecision::Unchanged)
             } else {
                 // No comparison run on this path (unlike `schedule`): the
                 // adjusted chip is simply used.
-                (adjusted, BandwidthDecision::Applied)
+                (Arc::new(adjusted), BandwidthDecision::Applied)
             }
         } else {
-            (chip.clone(), BandwidthDecision::Disabled)
+            (Arc::clone(chip), BandwidthDecision::Disabled)
         };
         let injected = if self.cuts_injected { self.cuts.as_deref() } else { None };
-        let (encoded, stats) = schedule_sufficient_with_stats(
+        let (encoded, stats) = schedule_sufficient_shared(
             &self.profiled.dag,
             &self.profiled.scheme,
             &chip,
@@ -688,6 +696,9 @@ mod tests {
             "\"paths_found\"",
             "\"conflicts\"",
             "\"pruned_expansions\"",
+            "\"failed_searches\"",
+            "\"cache_hits\"",
+            "\"recolor_cells\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

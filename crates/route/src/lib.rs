@@ -17,10 +17,36 @@
 //! lower bound, FIFO tie-breaking on equal f-scores, so results are
 //! exactly as short as BFS would find and runs are reproducible) over
 //! reusable epoch-marked scratch buffers — a search allocates nothing but
-//! the returned path. Schedulers submit each cycle's requests as one
-//! batch through [`Router::route_ready`], which can also order the batch
-//! by estimated distance ([`Router::route_ready_by_distance`]) so short
-//! paths are laid down before long greedy ones block them.
+//! the returned path. The open set is a monotone *bucket queue* (Dial's
+//! algorithm): on a unit-weight grid with a consistent heuristic the
+//! f-score of expansions never decreases and successors land in buckets
+//! `f` or `f + 2`, so a cursor sweeping a dense array of FIFO buckets
+//! replaces the binary heap — O(1) push/pop, and the pop order (f
+//! ascending, insertion order within a bucket) is exactly the old heap's
+//! `(f, seq)` order, keeping every schedule bit-identical.
+//!
+//! Failed searches are the congested worst case: when no route exists the
+//! heuristic cannot prune anything and plain A* floods the whole
+//! reachable region before returning `None`. The router therefore keeps a
+//! *reachability cache* — a per-cycle flood-fill coloring of the
+//! available cells into connected regions. Within a clock cycle,
+//! committing reservations only ever *removes* availability, so a
+//! "disconnected" verdict from a coloring taken earlier in the same cycle
+//! can never turn into "connected": provably-unroutable requests are
+//! answered `None` in O(1) without re-flooding. The coloring is computed
+//! lazily — refreshed only when a search exhausts its region without a
+//! cache hit, so uncongested workloads never pay for it — and
+//! [`RouterStats`] counts `failed_searches`, `cache_hits`, and
+//! `recolor_cells` so the hit rate is observable per compilation.
+//!
+//! Schedulers submit each cycle's requests as one batch through
+//! [`Router::route_ready`], which can also order the batch by estimated
+//! distance ([`Router::route_ready_by_distance`]) so short paths are laid
+//! down before long greedy ones block them; the `*_into` variants
+//! ([`Router::route_ready_into`],
+//! [`Router::route_ready_by_distance_into`]) write outcomes into
+//! caller-owned scratch so a scheduler's cycle loop performs no
+//! per-cycle allocation.
 //!
 //! Reservations are multi-cycle: a double-defect direct CNOT between equal
 //! cut types holds its path for two cycles, so [`Router::commit`] carries a
@@ -49,10 +75,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use ecmas_chip::RoutingGrid;
+
+/// The 4-neighborhood of `cell` on a `rows × cols` grid, `None` where
+/// clipped at the boundary — in the fixed up/down/left/right order that
+/// the A* expansion, the reachability flood fill, and the endpoint
+/// region probe must all share: the cache's soundness depends on the
+/// coloring and the search agreeing on adjacency.
+#[inline]
+fn neighbors4(cell: usize, rows: usize, cols: usize) -> [Option<usize>; 4] {
+    let (r, c) = (cell / cols, cell % cols);
+    [
+        (r > 0).then(|| cell - cols),
+        (r + 1 < rows).then(|| cell + cols),
+        (c > 0).then(|| cell - 1),
+        (c + 1 < cols).then(|| cell + 1),
+    ]
+}
 
 /// The disjointness rule paths in the same cycle must obey.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -88,6 +127,21 @@ pub struct RouterStats {
     pub pruned_expansions: u64,
     /// Total cells of every found path (channel occupation proxy).
     pub path_cells: u64,
+    /// Searches that proved no route exists — the region-exhaustion
+    /// subset of [`conflicts`](Self::conflicts) (an endpoint already
+    /// reserved fails before any search and is *not* counted here).
+    /// Each one either flooded the reachable region or was answered by
+    /// the reachability cache.
+    pub failed_searches: u64,
+    /// Failed searches answered in O(1) by the reachability cache
+    /// instead of flooding the region. `cache_hits / failed_searches`
+    /// is the cache hit rate on a congested workload.
+    pub cache_hits: u64,
+    /// Total cells colored by reachability-cache flood fills (the
+    /// amortized cost of the cache: one recoloring per cache-*missed*
+    /// failure, never more than doubling the flood work the exhausted
+    /// search already did, and zero on uncongested workloads).
+    pub recolor_cells: u64,
 }
 
 impl RouterStats {
@@ -101,6 +155,9 @@ impl RouterStats {
             cells_expanded: self.cells_expanded + other.cells_expanded,
             pruned_expansions: self.pruned_expansions + other.pruned_expansions,
             path_cells: self.path_cells + other.path_cells,
+            failed_searches: self.failed_searches + other.failed_searches,
+            cache_hits: self.cache_hits + other.cache_hits,
+            recolor_cells: self.recolor_cells + other.recolor_cells,
         }
     }
 }
@@ -220,8 +277,11 @@ impl RouteRequest {
 ///   current cycle, so a single scalar per resource suffices — and a
 ///   search therefore needs no duration: free now means free from now on.
 /// * A* scratch — epoch-marked visit/score/parent arrays plus a reusable
-///   open heap, so a search performs no allocation beyond the returned
-///   path.
+///   bucket-queue open set, so a search performs no allocation beyond the
+///   returned path.
+/// * reachability cache — a flood-fill coloring of the available cells
+///   into connected regions, valid for one clock cycle, that answers
+///   provably-unroutable searches in O(1).
 #[derive(Clone, Debug)]
 pub struct Router {
     grid: RoutingGrid,
@@ -229,15 +289,31 @@ pub struct Router {
     blocked: Vec<bool>,
     node_free_at: Vec<u64>,
     edge_free_at: Vec<u64>,
-    // A* scratch (epoch-marked so it never needs clearing). The open heap
-    // holds `(f << 32 | seq, cell)` keys: f-score in the high bits, a
-    // per-search push counter in the low bits, so equal-f entries pop in
-    // FIFO order — deterministic, and the first-found path is shortest.
+    // A* scratch (epoch-marked so it never needs clearing). The open set
+    // is a monotone bucket queue (Dial's algorithm): `buckets[f]` holds
+    // the cells pushed with f-score `f`, consumed FIFO through
+    // `bucket_head[f]`. On the unit-weight grid with the consistent
+    // Manhattan heuristic, every push lands in bucket `f` or `f + 2` of
+    // the cursor, so a forward-only sweep pops entries in exactly the
+    // old binary heap's `(f, push order)` sequence — same expansions,
+    // same parents, same paths, no `log n` and no per-push comparisons.
     visit_epoch: Vec<u32>,
     g_score: Vec<u32>,
     parent: Vec<u32>,
-    open: BinaryHeap<Reverse<(u64, u32)>>,
+    buckets: Vec<Vec<u32>>,
+    bucket_head: Vec<u32>,
     epoch: u32,
+    // Reachability cache: `region[cell]` is the connected-component id
+    // (0 = unavailable) of the availability graph, computed by a flood
+    // fill at `region_cycle`. Within one cycle reservations only shrink
+    // availability, so "different regions" verdicts stay valid until
+    // the cycle advances; anything that *grows* availability
+    // (cycle advance, unblock, clear) invalidates the coloring.
+    region: Vec<u32>,
+    region_queue: Vec<u32>,
+    region_cycle: Option<u64>,
+    // Scratch for `route_ready_by_distance*` request ordering.
+    order_scratch: Vec<u32>,
     // Highest cycle any search or commit has used — the
     // reservations-start-now invariant that makes search durations
     // redundant (checked in debug builds).
@@ -258,6 +334,11 @@ impl Router {
     pub fn new(grid: RoutingGrid, mode: Disjointness) -> Self {
         let n = grid.len();
         assert!(n < (1 << 31), "routing grid of {n} cells exceeds the router's 32-bit encoding");
+        // f = g + h is bounded by (n − 1) path edges plus the Manhattan
+        // diameter, so this dense bucket array covers every reachable
+        // f-score. The outer Vec is allocated once; inner buckets grow on
+        // first use and keep their capacity across searches.
+        let max_f = n + grid.rows() + grid.cols() + 1;
         Router {
             grid,
             mode,
@@ -267,8 +348,13 @@ impl Router {
             visit_epoch: vec![0; n],
             g_score: vec![0; n],
             parent: vec![0; n],
-            open: BinaryHeap::new(),
+            buckets: vec![Vec::new(); max_f],
+            bucket_head: vec![0; max_f],
             epoch: 0,
+            region: vec![0; n],
+            region_queue: Vec::new(),
+            region_cycle: None,
+            order_scratch: Vec::new(),
             watermark: 0,
             stats: RouterStats::default(),
         }
@@ -303,12 +389,14 @@ impl Router {
     pub fn block_tile(&mut self, slot: usize) {
         let cell = self.grid.tile_cell(slot);
         self.blocked[cell] = true;
+        self.region_cycle = None;
     }
 
     /// Clears a tile blockage (used when remapping).
     pub fn unblock_tile(&mut self, slot: usize) {
         let cell = self.grid.tile_cell(slot);
         self.blocked[cell] = false;
+        self.region_cycle = None;
     }
 
     /// `true` if the cell currently hosts a logical qubit.
@@ -414,74 +502,101 @@ impl Router {
             self.stats.conflicts += 1;
             return None;
         }
+        // Reachability cache: if a coloring from earlier in this cycle
+        // already proves the endpoints disconnected, the answer is `None`
+        // without any flooding — reservations committed since the
+        // coloring only removed availability, so the verdict holds.
+        if self.region_cycle == Some(cycle) && !self.can_reach(from, to, cycle) {
+            self.stats.conflicts += 1;
+            self.stats.failed_searches += 1;
+            self.stats.cache_hits += 1;
+            return None;
+        }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             self.visit_epoch.fill(0);
             self.epoch = 1;
         }
         let epoch = self.epoch;
-        self.open.clear();
         let (to_r, to_c) = self.grid.coords(to);
         let cols = self.grid.cols();
         let rows = self.grid.rows();
-        let manhattan = |cell: usize| -> u64 {
+        let manhattan = |cell: usize| -> usize {
             let (r, c) = (cell / cols, cell % cols);
-            (r.abs_diff(to_r) + c.abs_diff(to_c)) as u64
+            r.abs_diff(to_r) + c.abs_diff(to_c)
         };
         self.visit_epoch[from] = epoch;
         self.g_score[from] = 0;
-        let mut seq: u64 = 0;
-        self.open.push(Reverse((manhattan(from) << 32, u32::try_from(from).expect("grid fits"))));
+        let f_lo = manhattan(from);
+        self.buckets[f_lo].push(u32::try_from(from).expect("grid fits"));
+        let mut f_hi = f_lo; // highest bucket touched (for cleanup)
+        let mut open_len: u64 = 1; // entries pushed and not yet popped
         let mut found = false;
-        while let Some(Reverse((key, cell))) = self.open.pop() {
-            let cur = cell as usize;
-            let g = u64::from(self.g_score[cur]);
-            if key >> 32 != g + manhattan(cur) {
-                continue; // stale entry: the cell was re-queued with a better g
-            }
-            self.stats.cells_expanded += 1;
-            let (r, c) = (cur / cols, cur % cols);
-            let neighbors = [
-                (r > 0).then(|| cur - cols),
-                (r + 1 < rows).then(|| cur + cols),
-                (c > 0).then(|| cur - 1),
-                (c + 1 < cols).then(|| cur + 1),
-            ];
-            for next in neighbors.into_iter().flatten() {
-                if !self.edge_available(cur, next, cycle) {
-                    continue;
+        let mut f = f_lo;
+        'sweep: while f <= f_hi {
+            // New entries can land in this same bucket mid-sweep (a step
+            // toward the target keeps f constant), so re-check the length
+            // every pop; FIFO order within the bucket is the old heap's
+            // push-counter tie-break.
+            while (self.bucket_head[f] as usize) < self.buckets[f].len() {
+                let cur = self.buckets[f][self.bucket_head[f] as usize] as usize;
+                self.bucket_head[f] += 1;
+                open_len -= 1;
+                let g = self.g_score[cur] as usize;
+                if f != g + manhattan(cur) {
+                    continue; // stale entry: the cell was re-queued with a better g
                 }
-                if next == to {
+                self.stats.cells_expanded += 1;
+                for next in neighbors4(cur, rows, cols).into_iter().flatten() {
+                    if !self.edge_available(cur, next, cycle) {
+                        continue;
+                    }
+                    if next == to {
+                        self.visit_epoch[next] = epoch;
+                        self.parent[next] = u32::try_from(cur).expect("grid fits in u32");
+                        found = true;
+                        break;
+                    }
+                    if !self.cell_available(next, cycle) {
+                        continue;
+                    }
+                    let ng = self.g_score[cur] + 1;
+                    if self.visit_epoch[next] == epoch && self.g_score[next] <= ng {
+                        continue;
+                    }
                     self.visit_epoch[next] = epoch;
+                    self.g_score[next] = ng;
                     self.parent[next] = u32::try_from(cur).expect("grid fits in u32");
-                    found = true;
-                    break;
+                    let nf = ng as usize + manhattan(next);
+                    debug_assert!(nf == f || nf == f + 2, "consistent heuristic: f or f+2");
+                    self.buckets[nf].push(u32::try_from(next).expect("grid fits"));
+                    f_hi = f_hi.max(nf);
+                    open_len += 1;
                 }
-                if !self.cell_available(next, cycle) {
-                    continue;
+                if found {
+                    break 'sweep;
                 }
-                let ng = self.g_score[cur] + 1;
-                if self.visit_epoch[next] == epoch && self.g_score[next] <= ng {
-                    continue;
-                }
-                self.visit_epoch[next] = epoch;
-                self.g_score[next] = ng;
-                self.parent[next] = u32::try_from(cur).expect("grid fits in u32");
-                seq += 1;
-                debug_assert!(seq < (1 << 32), "push counter overflows its key bits");
-                let f = u64::from(ng) + manhattan(next);
-                self.open.push(Reverse(((f << 32) | seq, u32::try_from(next).expect("grid fits"))));
             }
-            if found {
-                break;
-            }
+            f += 1;
+        }
+        // Reset the touched buckets (cheap: the cursor range only).
+        for bucket_f in f_lo..=f_hi {
+            self.buckets[bucket_f].clear();
+            self.bucket_head[bucket_f] = 0;
         }
         if !found {
             self.stats.conflicts += 1;
+            self.stats.failed_searches += 1;
+            // A cache-missed failure means the coloring is absent or
+            // predates the commit that cut this route off — recolor now
+            // (one flood, the same order of work the exhausted search
+            // just did) so every repeat of this disconnection within the
+            // cycle is answered in O(1).
+            self.recolor(cycle);
             return None;
         }
-        // Everything still on the open heap is work the heuristic saved.
-        self.stats.pruned_expansions += self.open.len() as u64;
+        // Everything still in the open buckets is work the heuristic saved.
+        self.stats.pruned_expansions += open_len;
         let mut cells = vec![to];
         let mut cur = to;
         while cur != from {
@@ -492,6 +607,83 @@ impl Router {
         self.stats.paths_found += 1;
         self.stats.path_cells += cells.len() as u64;
         Some(Path { cells })
+    }
+
+    /// Recomputes the reachability coloring for `cycle`: a flood fill
+    /// assigning every *available* cell (traversable as a path interior
+    /// right now) a connected-region id, respecting edge reservations in
+    /// edge mode. Costs one pass over the grid, paid only when a search
+    /// exhausts its region without a cache hit — uncongested schedules
+    /// never trigger it.
+    fn recolor(&mut self, cycle: u64) {
+        self.region.fill(0);
+        let cols = self.grid.cols();
+        let rows = self.grid.rows();
+        let mut queue = std::mem::take(&mut self.region_queue);
+        let mut next_region: u32 = 0;
+        for start in 0..self.grid.len() {
+            if self.region[start] != 0 || !self.cell_available(start, cycle) {
+                continue;
+            }
+            next_region += 1;
+            self.region[start] = next_region;
+            queue.clear();
+            queue.push(u32::try_from(start).expect("grid fits"));
+            while let Some(cur) = queue.pop() {
+                let cur = cur as usize;
+                self.stats.recolor_cells += 1;
+                for next in neighbors4(cur, rows, cols).into_iter().flatten() {
+                    if self.region[next] != 0
+                        || !self.edge_available(cur, next, cycle)
+                        || !self.cell_available(next, cycle)
+                    {
+                        continue;
+                    }
+                    self.region[next] = next_region;
+                    queue.push(u32::try_from(next).expect("grid fits"));
+                }
+            }
+        }
+        self.region_queue = queue;
+        self.region_cycle = Some(cycle);
+    }
+
+    /// O(1) conservative reachability test against the current coloring
+    /// (caller guarantees `region_cycle == Some(cycle)`): `false` only
+    /// when *no* path can exist. Endpoints may be reservation-exempt tile
+    /// cells, so the test works on their available neighbors: a path
+    /// `from, c₁, …, cₖ, to` needs all interior cells in one available
+    /// region adjacent to both endpoints. Availability is probed with the
+    /// *current* predicates (⊆ the coloring's), so any interior cell that
+    /// is usable now already carries a region id — if the endpoint
+    /// neighborhoods share no region, the search cannot succeed.
+    fn can_reach(&self, from: usize, to: usize, cycle: u64) -> bool {
+        // A direct `from → to` hop has no interior; only the edge matters.
+        if self.grid.manhattan(from, to) == 1 && self.edge_available(from, to, cycle) {
+            return true;
+        }
+        let cols = self.grid.cols();
+        let rows = self.grid.rows();
+        let adjacent_regions = |cell: usize| -> [u32; 4] {
+            let mut out = [0u32; 4];
+            for (slot, next) in out.iter_mut().zip(neighbors4(cell, rows, cols)) {
+                let Some(next) = next else { continue };
+                if self.edge_available(cell, next, cycle) && self.cell_available(next, cycle) {
+                    debug_assert!(
+                        self.region[next] != 0,
+                        "available cell must be colored (availability only shrinks in-cycle)"
+                    );
+                    *slot = self.region[next];
+                }
+            }
+            out
+        };
+        let from_regions = adjacent_regions(from);
+        if from_regions == [0; 4] {
+            return false;
+        }
+        let to_regions = adjacent_regions(to);
+        to_regions.iter().any(|&region| region != 0 && from_regions.contains(&region))
     }
 
     /// Reserves a path for `[cycle, cycle + duration)`.
@@ -544,7 +736,22 @@ impl Router {
     /// driving the hot path one gate at a time. Outcomes are indexed like
     /// `requests`; `None` marks a blocked request.
     pub fn route_ready(&mut self, requests: &[RouteRequest], cycle: u64) -> Vec<Option<Path>> {
-        requests.iter().map(|req| self.route_one(req, cycle)).collect()
+        let mut out = Vec::with_capacity(requests.len());
+        self.route_ready_into(requests, cycle, &mut out);
+        out
+    }
+
+    /// [`route_ready`](Self::route_ready) writing the outcomes into
+    /// caller-owned scratch (cleared first, then indexed like
+    /// `requests`) — the allocation-free form scheduler cycle loops use.
+    pub fn route_ready_into(
+        &mut self,
+        requests: &[RouteRequest],
+        cycle: u64,
+        out: &mut Vec<Option<Path>>,
+    ) {
+        out.clear();
+        out.extend(requests.iter().map(|req| self.route_one(req, cycle)));
     }
 
     /// [`route_ready`](Self::route_ready), with the router choosing the
@@ -557,13 +764,36 @@ impl Router {
         requests: &[RouteRequest],
         cycle: u64,
     ) -> Vec<Option<Path>> {
-        let mut order: Vec<usize> = (0..requests.len()).collect();
-        order.sort_by_key(|&i| self.estimated_distance(requests[i].from_slot, requests[i].to_slot));
-        let mut out = vec![None; requests.len()];
-        for i in order {
-            out[i] = self.route_one(&requests[i], cycle);
-        }
+        let mut out = Vec::with_capacity(requests.len());
+        self.route_ready_by_distance_into(requests, cycle, &mut out);
         out
+    }
+
+    /// [`route_ready_by_distance`](Self::route_ready_by_distance) writing
+    /// into caller-owned scratch; the ordering permutation lives in
+    /// router-owned scratch, so steady-state batches allocate nothing.
+    pub fn route_ready_by_distance_into(
+        &mut self,
+        requests: &[RouteRequest],
+        cycle: u64,
+        out: &mut Vec<Option<Path>>,
+    ) {
+        out.clear();
+        out.resize(requests.len(), None);
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.clear();
+        order.extend(0..u32::try_from(requests.len()).expect("batch fits in u32"));
+        // Unstable sort with the original index as tie-break: same order
+        // as a stable sort on distance alone, without the stable sort's
+        // temporary buffer.
+        order.sort_unstable_by_key(|&i| {
+            let req = &requests[i as usize];
+            (self.estimated_distance(req.from_slot, req.to_slot), i)
+        });
+        for &i in &order {
+            out[i as usize] = self.route_one(&requests[i as usize], cycle);
+        }
+        self.order_scratch = order;
     }
 
     /// The Manhattan lower bound on the path length between two tile
@@ -590,6 +820,8 @@ impl Router {
         self.node_free_at.fill(0);
         self.edge_free_at.fill(0);
         self.watermark = 0;
+        // Availability grew: any cached disconnection verdict is void.
+        self.region_cycle = None;
     }
 
     /// Checks that a set of `(path, start, duration)` triples is mutually
@@ -874,6 +1106,152 @@ mod tests {
         assert_eq!(merged.paths_found, 6);
         assert_eq!(merged.conflicts, 2);
         assert_eq!(merged.pruned_expansions, 2 * s.pruned_expansions);
+    }
+
+    #[test]
+    fn failed_searches_hit_the_reachability_cache_within_a_cycle() {
+        // Saturate the single 0–1 channel column, then fail repeatedly in
+        // the same cycle: the first failure floods and colors, the rest
+        // are O(1) cache hits with no further expansions.
+        let mut r = router(1, 2, 1, Disjointness::Node);
+        r.block_tile(0);
+        r.block_tile(1);
+        for _ in 0..3 {
+            assert!(r.route_tiles(0, 1, 0, 1).is_some());
+        }
+        assert!(r.find_tile_path(0, 1, 0).is_none(), "saturated");
+        let after_first = r.stats();
+        assert_eq!(after_first.failed_searches, 1);
+        assert_eq!(after_first.cache_hits, 0, "the first failure floods");
+        assert!(after_first.recolor_cells > 0, "the first failure colors the regions");
+        for _ in 0..5 {
+            assert!(r.find_tile_path(0, 1, 0).is_none());
+        }
+        let s = r.stats();
+        assert_eq!(s.failed_searches, 6);
+        assert_eq!(s.cache_hits, 5, "every repeat is answered by the cache");
+        assert_eq!(s.cells_expanded, after_first.cells_expanded, "cache hits expand nothing");
+        assert_eq!(s.recolor_cells, after_first.recolor_cells, "cache hits do not recolor");
+        // Conflicts still counts every failure, as before.
+        assert_eq!(s.conflicts, 6);
+    }
+
+    #[test]
+    fn reachability_cache_expires_when_the_cycle_advances() {
+        let mut r = router(1, 2, 1, Disjointness::Node);
+        r.block_tile(0);
+        r.block_tile(1);
+        for _ in 0..3 {
+            assert!(r.route_tiles(0, 1, 0, 1).is_some());
+        }
+        assert!(r.find_tile_path(0, 1, 0).is_none());
+        assert!(r.find_tile_path(0, 1, 0).is_none());
+        assert_eq!(r.stats().cache_hits, 1);
+        // Reservations expired: the stale "disconnected" verdict must not
+        // leak into cycle 1.
+        assert!(r.find_tile_path(0, 1, 1).is_some(), "free again at cycle 1");
+    }
+
+    #[test]
+    fn reachability_cache_is_refreshed_by_mid_cycle_commits() {
+        // A genuine mid-cycle region *split*: fail once so a coloring is
+        // taken, then commit a wall that cuts the colored region in two.
+        // The next failure's endpoints look connected under the stale
+        // coloring (a miss — the search floods and recolors), and only
+        // the repeat is a cache hit. On a 1×3 chip the free cells form a
+        // ring around the tile row; a committed hook whose interior
+        // covers one full column severs it.
+        let mut r = router(1, 3, 1, Disjointness::Node);
+        for t in 0..3 {
+            r.block_tile(t);
+        }
+        let g = r.grid().clone();
+        // Hook paths: interior = the 3 cells of the given column.
+        let wall = |col: usize| {
+            Path::from_cells(
+                &g,
+                vec![
+                    g.index(0, col - 1),
+                    g.index(0, col),
+                    g.index(1, col),
+                    g.index(2, col),
+                    g.index(2, col - 1),
+                ],
+            )
+        };
+        r.commit(&wall(4), 0, 1);
+        assert!(r.find_tile_path(0, 2, 0).is_none(), "column-4 wall separates 0 from 2");
+        assert_eq!(r.stats().cache_hits, 0, "first failure floods and colors");
+        r.commit(&wall(2), 0, 1);
+        assert!(r.find_tile_path(0, 1, 0).is_none(), "column-2 wall separates 0 from 1");
+        assert_eq!(
+            r.stats().cache_hits,
+            0,
+            "the 0-1 split postdates the coloring: a miss that re-floods"
+        );
+        assert!(r.find_tile_path(0, 1, 0).is_none());
+        assert_eq!(r.stats().cache_hits, 1, "the miss recolored, so the repeat hits");
+    }
+
+    #[test]
+    fn clear_reservations_invalidates_the_reachability_cache() {
+        let mut r = router(1, 2, 1, Disjointness::Node);
+        r.block_tile(0);
+        r.block_tile(1);
+        for _ in 0..3 {
+            assert!(r.route_tiles(0, 1, 0, 1).is_some());
+        }
+        assert!(r.find_tile_path(0, 1, 0).is_none());
+        r.clear_reservations();
+        assert!(r.find_tile_path(0, 1, 0).is_some(), "cleared reservations must re-route");
+    }
+
+    #[test]
+    fn unblocking_a_tile_invalidates_the_reachability_cache() {
+        // Tiles 0,1,2 in a row, middle mapped. Hand-committed top and
+        // bottom detours (deterministic geometry, unlike router-chosen
+        // paths) saturate every 0→2 route around the middle tile; then
+        // unmapping it opens the straight lane, and the stale
+        // "disconnected" coloring must not answer `None`.
+        let mut r = router(1, 3, 1, Disjointness::Node);
+        for t in 0..3 {
+            r.block_tile(t);
+        }
+        let g = r.grid().clone();
+        let over = Path::from_cells(&g, (0..=6).map(|c| g.index(0, c)).collect());
+        let under = Path::from_cells(&g, (0..=6).map(|c| g.index(2, c)).collect());
+        r.commit(&over, 0, 1);
+        r.commit(&under, 0, 1);
+        assert!(r.find_tile_path(0, 2, 0).is_none(), "both detour rows reserved");
+        assert!(r.find_tile_path(0, 2, 0).is_none());
+        assert_eq!(r.stats().cache_hits, 1, "the repeat hits the cache");
+        r.unblock_tile(1);
+        let p = r.find_tile_path(0, 2, 0).expect("unmapped slot opens the straight lane");
+        assert_eq!(p.len(), 4, "straight through the unmapped middle slot");
+    }
+
+    #[test]
+    fn route_ready_into_reuses_caller_scratch() {
+        let reqs =
+            [RouteRequest::route(0, 3, 1), RouteRequest::probe(1, 2), RouteRequest::route(1, 2, 1)];
+        let mut r = router(2, 2, 1, Disjointness::Node);
+        let mut r2 = router(2, 2, 1, Disjointness::Node);
+        for t in 0..4 {
+            r.block_tile(t);
+            r2.block_tile(t);
+        }
+        let mut out = vec![None; 17]; // stale content must be cleared
+        r.route_ready_into(&reqs, 0, &mut out);
+        assert_eq!(out, r2.route_ready(&reqs, 0));
+        let mut out_dist = Vec::new();
+        let mut r3 = router(2, 2, 1, Disjointness::Node);
+        let mut r4 = router(2, 2, 1, Disjointness::Node);
+        for t in 0..4 {
+            r3.block_tile(t);
+            r4.block_tile(t);
+        }
+        r3.route_ready_by_distance_into(&reqs, 0, &mut out_dist);
+        assert_eq!(out_dist, r4.route_ready_by_distance(&reqs, 0));
     }
 
     #[test]

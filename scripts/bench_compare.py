@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a fresh smoke-bench JSON dump against the committed baseline.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [FRESH2.json ...]
+                        [--threshold 1.25]
+
+All files are `CRITERION_JSON` dumps (a list of {"id", "ns_per_iter",
+"iters"} records). When several fresh files are given (CI runs the smoke
+bench twice), the per-benchmark *minimum* is compared — one-sided noise
+(a scheduler hiccup, a thermal dip) inflates a single run but almost
+never two, while a genuine regression survives any number of reruns.
+The job fails if any benchmark present in both the baseline and the
+fresh set regressed by more than the threshold ratio — this is what
+turns the per-push `BENCH_<sha>.json` artifacts from a write-only perf
+log into a gate on the perf trajectory.
+
+Ratios are *normalized by the suite's median ratio* before gating: the
+baseline was recorded on one machine and CI runs on another, so a
+uniform speed gap (slower runner, different CPU) shifts every benchmark
+by the same factor — the median — and must not fail the gate. What the
+gate catches is a benchmark regressing relative to the rest of the
+suite, which is exactly what a code-level perf bug looks like. Both raw
+and normalized ratios are printed.
+
+Caveats, by design:
+  * Benchmarks only in one file are reported but never fail the job
+    (adding/removing a bench must not break CI).
+  * The threshold is deliberately loose (default +25%) because smoke
+    runs are short and CI machines are noisy. A real perf investigation
+    re-runs locally with a longer CRITERION_MEASUREMENT_MS.
+  * The baseline is a committed artifact: regenerate it (see
+    EXPERIMENTS.md) whenever a PR deliberately moves a benchmark, the
+    same way schedule pins are deliberately re-pinned.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return {r["id"]: float(r["ns_per_iter"]) for r in json.load(f)}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh", nargs="+",
+                    help="one or more fresh runs; the per-bench minimum is compared")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="fail when fresh/baseline exceeds this ratio (default 1.25)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = {}
+    for path in args.fresh:
+        for bench_id, nanos in load(path).items():
+            fresh[bench_id] = min(nanos, fresh.get(bench_id, float("inf")))
+    common = sorted(base.keys() & fresh.keys())
+    median = statistics.median(fresh[i] / base[i] for i in common) if common else 1.0
+    print(f"suite median ratio (machine-speed normalizer): {median:.2f}x")
+    regressions = []
+    width = max((len(i) for i in base), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio  normalized")
+    for bench_id in sorted(base.keys() | fresh.keys()):
+        if bench_id not in base:
+            print(f"{bench_id:<{width}}  {'--':>12}  {fresh[bench_id]:>10.0f}ns  (new)")
+            continue
+        if bench_id not in fresh:
+            print(f"{bench_id:<{width}}  {base[bench_id]:>10.0f}ns  {'--':>12}  (removed)")
+            continue
+        ratio = fresh[bench_id] / base[bench_id]
+        normalized = ratio / median
+        flag = ""
+        if normalized > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((bench_id, normalized))
+        print(f"{bench_id:<{width}}  {base[bench_id]:>10.0f}ns  {fresh[bench_id]:>10.0f}ns"
+              f"  {ratio:5.2f}x  {normalized:5.2f}x{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for bench_id, ratio in regressions:
+            print(f"  {bench_id}: {ratio:.2f}x", file=sys.stderr)
+        print("If the slowdown is intentional, regenerate BENCH_baseline.json "
+              "(see EXPERIMENTS.md).", file=sys.stderr)
+        return 1
+    print("\nbench-compare OK: no benchmark regressed beyond "
+          f"{args.threshold:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

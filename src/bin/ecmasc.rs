@@ -206,7 +206,8 @@ fn run() -> Result<(), String> {
     );
     println!(
         "ĝPM={} capacity={} restarts={} bandwidth-adjust={} | profile {:.2?} map {:.2?} \
-         schedule {:.2?} | router: {} paths, {} conflicts",
+         schedule {:.2?} | router: {} paths, {} conflicts ({} failed searches, \
+         {} cache hits)",
         report.gpm,
         report.capacity,
         report.placement_restarts,
@@ -216,6 +217,8 @@ fn run() -> Result<(), String> {
         report.timings.schedule,
         report.router.paths_found,
         report.router.conflicts,
+        report.router.failed_searches,
+        report.router.cache_hits,
     );
     if args.timeline > 0 {
         print!("{}", viz::render_timeline(&outcome.encoded, args.timeline));

@@ -1,8 +1,11 @@
 //! Property tests for the A* router: path optimality against a reference
-//! BFS on randomized congestion states, and the batched per-cycle API's
-//! equivalence to sequential per-gate routing.
+//! BFS on randomized congestion states, bit-identical equivalence of the
+//! bucket-queue open set to the PR 3 binary-heap A* (paths *and* failed
+//! searches), and the batched per-cycle API's equivalence to sequential
+//! per-gate routing.
 
-use std::collections::{HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_route::{Disjointness, Path, RouteRequest, Router};
@@ -107,8 +110,118 @@ fn bfs_len(setup: &CongestedSetup, from_slot: usize, to_slot: usize) -> Option<u
     None
 }
 
+/// An independent replica of the PR 3 router's search: A* over a binary
+/// heap keyed `(f << 32) | seq` (f-score high, FIFO push counter low),
+/// neighbor order up/down/left/right, running on the *mirrored*
+/// reservation state. The bucket-queue router must reproduce its full
+/// cell sequences — not just lengths — and its exact `None`s.
+fn heap_astar_path(setup: &CongestedSetup, from_slot: usize, to_slot: usize) -> Option<Vec<usize>> {
+    let grid = setup.router.grid();
+    let (from, to) = (grid.tile_cell(from_slot), grid.tile_cell(to_slot));
+    let cell_ok = |c: usize| {
+        !setup.tile_cells.contains(&c)
+            && (setup.mode == Disjointness::Edge || !setup.busy_cells.contains(&c))
+    };
+    let edge_ok = |a: usize, b: usize| {
+        setup.mode == Disjointness::Node || !setup.busy_edges.contains(&(a.min(b), a.max(b)))
+    };
+    let (cols, rows) = (grid.cols(), grid.rows());
+    let (to_r, to_c) = grid.coords(to);
+    let manhattan = |cell: usize| -> u64 {
+        ((cell / cols).abs_diff(to_r) + (cell % cols).abs_diff(to_c)) as u64
+    };
+    let mut g_score = vec![u32::MAX; grid.len()];
+    let mut parent = vec![usize::MAX; grid.len()];
+    let mut open: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    g_score[from] = 0;
+    let mut seq: u64 = 0;
+    open.push(Reverse((manhattan(from) << 32, u32::try_from(from).unwrap())));
+    let mut found = false;
+    while let Some(Reverse((key, cell))) = open.pop() {
+        let cur = cell as usize;
+        if key >> 32 != u64::from(g_score[cur]) + manhattan(cur) {
+            continue;
+        }
+        let (r, c) = (cur / cols, cur % cols);
+        let neighbors = [
+            (r > 0).then(|| cur - cols),
+            (r + 1 < rows).then(|| cur + cols),
+            (c > 0).then(|| cur - 1),
+            (c + 1 < cols).then(|| cur + 1),
+        ];
+        for next in neighbors.into_iter().flatten() {
+            if !edge_ok(cur, next) {
+                continue;
+            }
+            if next == to {
+                parent[next] = cur;
+                found = true;
+                break;
+            }
+            if !cell_ok(next) {
+                continue;
+            }
+            let ng = g_score[cur] + 1;
+            if g_score[next] <= ng {
+                continue;
+            }
+            g_score[next] = ng;
+            parent[next] = cur;
+            seq += 1;
+            let f = u64::from(ng) + manhattan(next);
+            open.push(Reverse(((f << 32) | seq, u32::try_from(next).unwrap())));
+        }
+        if found {
+            break;
+        }
+    }
+    if !found {
+        return None;
+    }
+    let mut cells = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = parent[cur];
+        cells.push(cur);
+    }
+    cells.reverse();
+    Some(cells)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bucket-queue open set is the old binary heap, bit for bit: on
+    /// every randomized congestion state the router returns exactly the
+    /// reference replica's cell sequence for routable pairs and exactly
+    /// its `None` for unroutable ones (where the reachability cache may
+    /// answer without searching — the verdict must still agree).
+    #[test]
+    fn bucket_queue_astar_is_bit_identical_to_heap_astar(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        bw in 1u32..3,
+        node_mode in 0u8..2,
+        seed in 0u64..10_000,
+    ) {
+        let mut setup = congested_setup(rows, cols, bw, node_mode == 1, seed);
+        let pairs: Vec<(usize, usize)> = setup
+            .mapped
+            .iter()
+            .flat_map(|&a| setup.mapped.iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        for (a, b) in pairs {
+            let want = heap_astar_path(&setup, a, b);
+            let got = setup.router.find_tile_path(a, b, 0);
+            prop_assert_eq!(
+                got.map(|p| p.cells().to_vec()),
+                want,
+                "{:?} {}->{} (rows={} cols={} bw={} seed={})",
+                setup.mode, a, b, rows, cols, bw, seed
+            );
+        }
+    }
 
     /// On every randomized congestion state, in both disjointness modes,
     /// the A* router finds a path exactly when BFS does, of exactly the

@@ -1,0 +1,105 @@
+//! Schedule-identity pins: fingerprints of complete event schedules on
+//! fixed workloads, captured under the PR 3 heap-based A* router.
+//!
+//! The bucket-queue router and the reachability cache (PR 5) must leave
+//! every schedule bit-identical — same events, same paths, same cycle
+//! counts. These tests hash the full event stream (gate ids, start
+//! cycles, event kinds, and every path cell) so any deviation in routing
+//! order, tie-breaking, or search outcome shows up as a fingerprint
+//! mismatch, not just a cycle-count drift.
+
+use ecmas::session::Compiler;
+use ecmas::{Ecmas, EcmasConfig};
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::{benchmarks, random};
+use ecmas_core::encoded::{EncodedCircuit, EventKind};
+
+/// FNV-1a over the full event stream.
+fn fingerprint(enc: &EncodedCircuit) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for event in enc.events() {
+        mix(event.gate.map_or(u64::MAX, |g| g as u64));
+        mix(event.start);
+        let (tag, qubit) = match &event.kind {
+            EventKind::Braid { .. } => (1, 0),
+            EventKind::DirectSameCut { .. } => (2, 0),
+            EventKind::LatticeCnot { .. } => (3, 0),
+            EventKind::CutModification { qubit } => (4, *qubit as u64),
+            _ => (5, 0),
+        };
+        mix(tag);
+        mix(qubit);
+        if let Some(path) = event.kind.path() {
+            for &cell in path.cells() {
+                mix(cell as u64);
+            }
+        }
+    }
+    mix(enc.cycles());
+    h
+}
+
+fn compile_fingerprint(circuit: &ecmas_circuit::Circuit, chip: &Chip) -> (u64, u64) {
+    let outcome = Ecmas::new(EcmasConfig::default()).compile_outcome(circuit, chip).unwrap();
+    (outcome.report.cycles, fingerprint(&outcome.encoded))
+}
+
+/// The fig12 bottom-panel workload (49 qubits, depth 50, ĝPM 11) on the
+/// bandwidth-1 chip — the compile-time acceptance series of PR 3.
+#[test]
+fn fig12_schedule_is_pinned() {
+    let circuit = random::layered(49, 50, 11, 0xF16);
+    let chip = Chip::uniform(CodeModel::DoubleDefect, 7, 7, 1, 3).unwrap();
+    let (cycles, hash) = compile_fingerprint(&circuit, &chip);
+    assert_eq!((cycles, hash), (FIG12_PIN.0, FIG12_PIN.1), "fig12 schedule drifted");
+}
+
+/// The saturating congested workload (qft_n50 on `Chip::congested`) —
+/// the Table II/IV discriminator row and the failed-search worst case
+/// the reachability cache targets.
+#[test]
+fn qft_n50_congested_schedule_is_pinned() {
+    let circuit = benchmarks::qft_n50();
+    let chip = Chip::congested(CodeModel::LatticeSurgery, circuit.qubits(), 3).unwrap();
+    let (cycles, hash) = compile_fingerprint(&circuit, &chip);
+    assert_eq!((cycles, hash), (QFT50_PIN.0, QFT50_PIN.1), "congested qft_n50 drifted");
+}
+
+/// A Table I row (qft_n10, double defect, min viable) — the limited
+/// scheduler's same-cut decision path with modifications.
+#[test]
+fn table1_qft_n10_schedule_is_pinned() {
+    let circuit = benchmarks::qft_n10();
+    let chip = Chip::min_viable(CodeModel::DoubleDefect, 10, 3).unwrap();
+    let (cycles, hash) = compile_fingerprint(&circuit, &chip);
+    assert_eq!((cycles, hash), (QFT10_PIN.0, QFT10_PIN.1), "qft_n10 schedule drifted");
+}
+
+/// A ReSu path pin (sufficient resources, distance-ordered layer
+/// batches).
+#[test]
+fn resu_dnn_n8_schedule_is_pinned() {
+    let circuit = benchmarks::dnn_n8();
+    let scheme = ecmas::para_finding(&circuit.dag());
+    let chip =
+        Chip::sufficient(CodeModel::LatticeSurgery, circuit.qubits(), scheme.gpm(), 3).unwrap();
+    let outcome = Ecmas::default().compile_auto(&circuit, &chip).unwrap();
+    let (cycles, hash) = (outcome.report.cycles, fingerprint(&outcome.encoded));
+    assert_eq!((cycles, hash), (DNN8_PIN.0, DNN8_PIN.1), "ReSu dnn_n8 schedule drifted");
+}
+
+// Pinned (cycles, event-stream FNV-1a) captured under the PR 3 router
+// before the bucket-queue rework landed. There is deliberately no
+// print-fresh-values escape hatch: a drift must be a conscious re-pin
+// with its reason recorded in EXPERIMENTS.md, exactly like the
+// Tables I/III/V re-pin of PR 4.
+const FIG12_PIN: (u64, u64) = (96, 2_927_398_374_242_846_396);
+const QFT50_PIN: (u64, u64) = (218, 2_382_745_220_330_678_997);
+const QFT10_PIN: (u64, u64) = (67, 3_604_089_234_610_369_876);
+const DNN8_PIN: (u64, u64) = (48, 12_553_267_209_557_189_557);

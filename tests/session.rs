@@ -84,6 +84,17 @@ fn congested_chip_gives_the_ablations_nonzero_spread() {
     let chip = Chip::congested(CodeModel::LatticeSurgery, circuit.qubits(), 3).unwrap();
     let ours = Ecmas::default().compile_auto(&circuit, &chip).unwrap();
     validate_encoded(&circuit, &ours.encoded).unwrap();
+    // The saturating run exercises the failed-search path: the report
+    // must surface the new counters — every exhausted search is counted,
+    // and within congested cycles the reachability cache answers repeats
+    // without re-flooding.
+    assert!(ours.report.router.failed_searches > 0, "saturation implies failed searches");
+    assert!(ours.report.router.cache_hits > 0, "repeat failures must hit the cache");
+    assert!(ours.report.router.recolor_cells > 0, "cache misses flood-fill the region");
+    assert!(
+        ours.report.router.failed_searches <= ours.report.router.conflicts,
+        "failed searches are the region-exhaustion subset of conflicts"
+    );
 
     // Inject the snake mapping (what LocationStrategy::Trivial computes)
     // into the session mid-flight — the ablation the one-shot API could

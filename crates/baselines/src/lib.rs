@@ -50,7 +50,9 @@ use ecmas::encoded::EncodedCircuit;
 use ecmas::engine::{schedule_limited_with_stats, CutPolicy, GateOrder, ScheduleConfig};
 use ecmas::error::CompileError;
 use ecmas::mapping::snake_mapping;
-use ecmas::session::{Algorithm, BandwidthDecision, CompileReport, RouterStats, StageTimings};
+use ecmas::session::{
+    Algorithm, BandwidthDecision, CacheInfo, CompileReport, RouterStats, StageTimings,
+};
 use ecmas::{CompileOutcome, Compiler};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::Circuit;
@@ -83,6 +85,7 @@ fn baseline_outcome(
         cycles: encoded.cycles(),
         events: encoded.events().len(),
         cut_modifications: encoded.modification_count(),
+        cache: CacheInfo::disabled(),
     };
     CompileOutcome { encoded, report }
 }

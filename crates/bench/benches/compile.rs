@@ -3,7 +3,10 @@
 //! pipeline's stages should each stay cheap at benchmark scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ecmas::{compile_jobs, para_finding, BatchJob, Ecmas, EcmasConfig};
+use ecmas::{
+    compile_jobs, para_finding, BatchJob, CompileRequest, CompileService, Ecmas, EcmasConfig,
+    ServiceConfig,
+};
 use ecmas_baselines::{AutoBraid, Edpci};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::random::{StressSpec, StressWorkload};
@@ -129,6 +132,7 @@ fn bench_service_stress(c: &mut Criterion) {
         min_depth: 40,
         max_depth: 160,
         mean_burst: 8,
+        dup_percent: 0,
         seed: 7,
     };
     let circuits: Vec<_> =
@@ -144,6 +148,59 @@ fn bench_service_stress(c: &mut Criterion) {
             assert!(outcomes.iter().all(Result::is_ok), "stress jobs must all compile");
             outcomes.len()
         });
+    });
+}
+
+/// The compile-cache A/B: a 1000-job seeded stress mix where 90% of
+/// jobs are Zipf-skewed exact repeats of earlier ones (a shared service
+/// recompiling a few hot kernels), drained through a `CompileService`
+/// with the content-addressed cache off vs on. One iteration is the
+/// whole drain from a cold service, so the on/off ratio is the
+/// mean-latency improvement the cache buys on duplicated traffic — the
+/// headline claim is ≥5×.
+fn bench_service_stress_dup(c: &mut Criterion) {
+    let spec = StressSpec {
+        jobs: 1000,
+        min_qubits: 8,
+        max_qubits: 14,
+        min_depth: 40,
+        max_depth: 120,
+        mean_burst: 8,
+        dup_percent: 90,
+        seed: 21,
+    };
+    let workload = StressWorkload::new(&spec);
+    let jobs: Vec<_> = workload
+        .jobs()
+        .iter()
+        .map(|job| {
+            let circuit = job.circuit();
+            let chip = Chip::min_viable(CodeModel::LatticeSurgery, circuit.qubits(), 3).unwrap();
+            (circuit, chip)
+        })
+        .collect();
+    let run = |cache_bytes: u64| {
+        let service = CompileService::new(ServiceConfig {
+            workers: 4,
+            cache_bytes,
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(circuit, chip)| {
+                service.submit(CompileRequest::new(circuit.clone(), chip.clone())).unwrap()
+            })
+            .collect();
+        let mut done = 0usize;
+        for handle in handles {
+            handle.wait().expect("stress jobs must all compile");
+            done += 1;
+        }
+        done
+    };
+    c.bench_function("service/stress_dup_1000_cache_off", |b| b.iter(|| run(0)));
+    c.bench_function("service/stress_dup_1000_cache_on", |b| {
+        b.iter(|| run(64 * 1024 * 1024));
     });
 }
 
@@ -191,6 +248,7 @@ criterion_group!(
     bench_congested_router,
     bench_end_to_end,
     bench_chip_size_scaling,
-    bench_service_stress
+    bench_service_stress,
+    bench_service_stress_dup
 );
 criterion_main!(benches);

@@ -120,6 +120,14 @@ pub struct StressSpec {
     /// Mean burst length: consecutive jobs drawn from one parameter
     /// family before the generator jumps to a new one.
     pub mean_burst: usize,
+    /// Percentage (0–100) of jobs that repeat an earlier job *exactly*
+    /// (same width, depth, parallelism, and per-job seed, so the daemon
+    /// regenerates the identical circuit). Repeats pick their original
+    /// Zipf-style — P(rank r) ∝ 1/r over the distinct jobs seen so far —
+    /// so a few hot circuits dominate, the way production compile
+    /// traffic repeats a few hot kernels. `0` disables duplication and
+    /// leaves the legacy job stream byte-identical.
+    pub dup_percent: u8,
     /// Workload seed; everything below is deterministic in it.
     pub seed: u64,
 }
@@ -137,6 +145,7 @@ impl StressSpec {
             min_depth: 60,
             max_depth: 1500,
             mean_burst: 16,
+            dup_percent: 0,
             seed,
         }
     }
@@ -144,7 +153,7 @@ impl StressSpec {
 
 /// One job of a [`StressWorkload`]: the layered-circuit parameters plus
 /// the per-job seed. [`circuit`](Self::circuit) materializes it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct StressJob {
     /// Circuit width.
     pub qubits: usize,
@@ -193,13 +202,14 @@ impl StressWorkload {
     ///
     /// Panics if the spec is degenerate: `min_qubits < 4` (a layer needs
     /// two disjoint qubit pairs to be worth stressing), inverted
-    /// qubit/depth ranges, or `mean_burst == 0`.
+    /// qubit/depth ranges, `mean_burst == 0`, or `dup_percent > 100`.
     #[must_use]
     pub fn new(spec: &StressSpec) -> Self {
         assert!(spec.min_qubits >= 4, "stress circuits need at least 4 qubits");
         assert!(spec.min_qubits <= spec.max_qubits, "inverted qubit range");
         assert!(0 < spec.min_depth && spec.min_depth <= spec.max_depth, "bad depth range");
         assert!(spec.mean_burst > 0, "mean_burst must be positive");
+        assert!(spec.dup_percent <= 100, "dup_percent is a percentage");
         let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5742_E550);
         let mut jobs = Vec::with_capacity(spec.jobs);
         while jobs.len() < spec.jobs {
@@ -222,6 +232,7 @@ impl StressWorkload {
                 jobs.push(StressJob { qubits, depth, parallelism, seed: rng.next_u64() });
             }
         }
+        apply_duplication(&mut jobs, spec.dup_percent, &mut rng);
         StressWorkload { jobs }
     }
 
@@ -255,6 +266,39 @@ impl StressWorkload {
         let mut c = job.circuit();
         c.set_name(format!("stress{index}_n{}_d{}_p{}", job.qubits, job.depth, job.parallelism));
         c
+    }
+}
+
+/// Rewrites `dup_percent`% of the job stream (in place, skipping job 0)
+/// into exact repeats of earlier jobs, picking each repeat's original
+/// with Zipf weights — P(rank r) ∝ 1/r over the *distinct* jobs seen so
+/// far, in first-appearance order. Distinct jobs keep their position, so
+/// the duplicated stream interleaves hot repeats with fresh work the way
+/// a shared service's request log does. A no-op at 0%, leaving the
+/// pre-duplication stream (and its RNG usage) byte-identical.
+fn apply_duplication(jobs: &mut [StressJob], dup_percent: u8, rng: &mut SmallRng) {
+    if dup_percent == 0 {
+        return;
+    }
+    let mut distinct: Vec<StressJob> = Vec::new();
+    for job in jobs.iter_mut() {
+        if !distinct.is_empty() && rng.gen_range(0..100u32) < u32::from(dup_percent) {
+            // Zipf rank over the distinct jobs so far: draw u uniform in
+            // [0, H_n) and walk the harmonic prefix sums.
+            let h: f64 = (1..=distinct.len()).map(|r| 1.0 / r as f64).sum();
+            let mut u = rng.gen_range(0.0..h);
+            let mut rank = 0usize;
+            while rank + 1 < distinct.len() {
+                u -= 1.0 / (rank + 1) as f64;
+                if u < 0.0 {
+                    break;
+                }
+                rank += 1;
+            }
+            *job = distinct[rank];
+        } else {
+            distinct.push(*job);
+        }
     }
 }
 
@@ -355,5 +399,46 @@ mod tests {
     #[should_panic(expected = "at least 4 qubits")]
     fn stress_rejects_degenerate_width() {
         let _ = StressWorkload::new(&StressSpec { min_qubits: 2, ..StressSpec::new(4, 10, 0) });
+    }
+
+    #[test]
+    fn duplication_repeats_earlier_jobs_exactly_and_zipf_skewed() {
+        let spec = StressSpec { dup_percent: 50, ..StressSpec::new(400, 30, 21) };
+        let w = StressWorkload::new(&spec);
+        assert_eq!(w.jobs(), StressWorkload::new(&spec).jobs(), "deterministic");
+        assert_eq!(w.len(), 400);
+        // Every repeat is byte-identical to an earlier job (seed included).
+        let mut counts: std::collections::HashMap<StressJob, usize> =
+            std::collections::HashMap::new();
+        let mut repeats = 0usize;
+        for job in w.jobs() {
+            let n = counts.entry(*job).or_insert(0);
+            if *n > 0 {
+                repeats += 1;
+            }
+            *n += 1;
+        }
+        // ~50% of jobs after the first are repeats; allow wide slack.
+        assert!((100..300).contains(&repeats), "{repeats} repeats out of 400");
+        // Zipf skew: the hottest job repeats far more than the mean repeat.
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest >= 8, "hottest job seen {hottest} times");
+        // Hash derives for StressJob only matter in this test, but the
+        // jobs must still respect the spec's ranges.
+        for job in w.jobs() {
+            assert!((spec.min_qubits..=spec.max_qubits).contains(&job.qubits));
+        }
+    }
+
+    #[test]
+    fn zero_duplication_leaves_the_legacy_stream_untouched() {
+        let base = StressSpec::new(64, 24, 5);
+        assert_eq!(base.dup_percent, 0);
+        let a = StressWorkload::new(&base);
+        let b = StressWorkload::new(&StressSpec { dup_percent: 0, ..base });
+        assert_eq!(a.jobs(), b.jobs());
+        // All per-job seeds distinct: nothing was rewritten into a repeat.
+        let seeds: std::collections::HashSet<_> = a.jobs().iter().map(|j| j.seed).collect();
+        assert_eq!(seeds.len(), a.len());
     }
 }

@@ -69,6 +69,7 @@ pub mod mapping;
 pub mod profile;
 pub mod resu;
 pub mod session;
+pub mod stable;
 pub mod viz;
 
 pub use compiler::{Ecmas, EcmasConfig};
@@ -79,4 +80,8 @@ pub use error::CompileError;
 pub use mapping::LocationStrategy;
 pub use profile::{para_finding, ExecutionScheme};
 pub use resu::schedule_sufficient;
-pub use session::{Algorithm, CompileOutcome, CompileReport, Compiler};
+pub use session::{
+    Algorithm, CacheInfo, CacheSource, CompileOutcome, CompileReport, Compiler, MapArtifact,
+    ProfileArtifact,
+};
+pub use stable::{fingerprint_encoded, StableHasher};

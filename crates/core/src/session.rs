@@ -138,6 +138,76 @@ impl StageTimings {
     }
 }
 
+/// Where a compilation's result came from, compile-cache-wise.
+///
+/// `Disabled` is the default for every compile that never passed through
+/// a cache (direct `Ecmas` calls, `compile_batch`, services configured
+/// with `cache_bytes: 0`); the other variants are stamped by the
+/// `ecmas-cache` integration in `ecmas-serve`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheSource {
+    /// No cache in front of this compilation.
+    #[default]
+    Disabled,
+    /// Looked up, not found: compiled from scratch and inserted.
+    Miss,
+    /// Served verbatim from the cache without compiling.
+    Hit,
+    /// An identical compile was already in flight; this request waited
+    /// for it and shares its result.
+    Coalesced,
+    /// A cached profile artifact was reused; mapping and scheduling ran.
+    ProfileReuse,
+    /// A cached map artifact (and its profile) was reused; only
+    /// scheduling ran.
+    MapReuse,
+}
+
+impl CacheSource {
+    /// Stable lowercase label (used in reports and JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheSource::Disabled => "disabled",
+            CacheSource::Miss => "miss",
+            CacheSource::Hit => "hit",
+            CacheSource::Coalesced => "coalesced",
+            CacheSource::ProfileReuse => "profile_reuse",
+            CacheSource::MapReuse => "map_reuse",
+        }
+    }
+}
+
+/// Compile-cache observability attached to every [`CompileReport`]:
+/// how this result was obtained plus a snapshot of the cache-wide
+/// counters at the time it was produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// How this particular result was obtained.
+    pub source: CacheSource,
+    /// Full-result cache hits so far (including coalesced waits).
+    pub hits: u64,
+    /// Full-result cache misses so far.
+    pub misses: u64,
+    /// Stage-artifact (profile/map) reuses so far.
+    pub stage_hits: u64,
+    /// Entries evicted by the byte-budget LRU so far.
+    pub evictions: u64,
+    /// Estimated bytes currently resident in the cache.
+    pub resident_bytes: u64,
+    /// Requests that waited on an identical in-flight compile so far.
+    pub coalesced_waits: u64,
+}
+
+impl CacheInfo {
+    /// The no-cache placeholder every direct compilation carries.
+    #[must_use]
+    pub fn disabled() -> Self {
+        CacheInfo::default()
+    }
+}
+
 /// Structured diagnostics for one compilation: what ran, how long each
 /// stage took, and how hard the router worked.
 #[derive(Clone, Debug)]
@@ -166,6 +236,9 @@ pub struct CompileReport {
     pub events: usize,
     /// Cut-type modification events.
     pub cut_modifications: usize,
+    /// Compile-cache provenance and counters ([`CacheInfo::disabled`]
+    /// when no cache fronted this compilation).
+    pub cache: CacheInfo,
 }
 
 impl CompileReport {
@@ -184,7 +257,10 @@ impl CompileReport {
                 "\"router\":{{\"paths_found\":{},\"conflicts\":{},",
                 "\"cells_expanded\":{},\"pruned_expansions\":{},",
                 "\"path_cells\":{},\"failed_searches\":{},",
-                "\"cache_hits\":{},\"recolor_cells\":{}}}}}"
+                "\"cache_hits\":{},\"recolor_cells\":{}}},",
+                "\"cache\":{{\"source\":\"{}\",\"hits\":{},\"misses\":{},",
+                "\"stage_hits\":{},\"evictions\":{},\"resident_bytes\":{},",
+                "\"coalesced_waits\":{}}}}}"
             ),
             self.algorithm.label(),
             self.cycles,
@@ -206,6 +282,13 @@ impl CompileReport {
             self.router.failed_searches,
             self.router.cache_hits,
             self.router.recolor_cells,
+            self.cache.source.label(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.stage_hits,
+            self.cache.evictions,
+            self.cache.resident_bytes,
+            self.cache.coalesced_waits,
         )
     }
 }
@@ -259,6 +342,85 @@ impl Compiler for Ecmas {
     }
 }
 
+/// The detachable output of the profiling stage: everything
+/// [`Profiled`] computed from the circuit alone, without the borrowed
+/// circuit or the target chip.
+///
+/// Validity domain: an artifact is reusable for any compilation of the
+/// *same CNOT stream on the same qubit count* — profiling never looks at
+/// the chip or the config, so the chip and every config knob may differ.
+/// Captured by [`Profiled::artifact`], resumed by
+/// [`Ecmas::resume_session`]; the recorded `profile` timing in a resumed
+/// report is the original compute time, not the (near-zero) reuse time.
+#[derive(Clone, Debug)]
+pub struct ProfileArtifact {
+    dag: GateDag,
+    comm: CommGraph,
+    scheme: ExecutionScheme,
+    profile_time: Duration,
+}
+
+impl ProfileArtifact {
+    /// The estimated Circuit Parallelism Degree `ĝPM`.
+    #[must_use]
+    pub fn gpm(&self) -> usize {
+        self.scheme.gpm()
+    }
+
+    /// Qubit count of the circuit this artifact was profiled from (used
+    /// to sanity-check a resume against a different circuit).
+    #[must_use]
+    pub fn qubits(&self) -> usize {
+        self.comm.qubits()
+    }
+
+    /// Rough resident-size estimate in bytes, for byte-budgeted caches.
+    /// Counts the DAG's adjacency (parents + children + per-gate levels),
+    /// the communication graph's edge and neighbor lists, and the
+    /// execution scheme's layer vectors.
+    #[must_use]
+    pub fn estimated_bytes(&self) -> u64 {
+        let dag = 64 * self.dag.len() as u64;
+        let comm = 48 * self.comm.edges().len() as u64 + 16 * self.comm.qubits() as u64;
+        let scheme = 8 * self.dag.len() as u64 + 32 * self.scheme.layers().len() as u64;
+        128 + dag + comm + scheme
+    }
+}
+
+/// The detachable output of the mapping stage: the placement plus
+/// (double defect) initial cut types, without the borrowed pipeline.
+///
+/// Validity domain: reusable only for the same circuit *and* the same
+/// chip *and* the same mapping-relevant config knobs
+/// (`location`, `cut_init` — see `stable::write_mapping_config`);
+/// schedule-only knobs (`order`, `cut_policy`, `adjust_bandwidth`) may
+/// differ. Captured by [`Mapped::artifact`], resumed by
+/// [`Profiled::resume_mapped`], which re-validates the mapping and cuts
+/// against the resuming pipeline's circuit and chip.
+#[derive(Clone, Debug)]
+pub struct MapArtifact {
+    mapping: Vec<usize>,
+    cuts: Option<Vec<CutType>>,
+    cuts_injected: bool,
+    placement_restarts: usize,
+    map_time: Duration,
+}
+
+impl MapArtifact {
+    /// The qubit → tile-slot mapping.
+    #[must_use]
+    pub fn mapping(&self) -> &[usize] {
+        &self.mapping
+    }
+
+    /// Rough resident-size estimate in bytes, for byte-budgeted caches.
+    #[must_use]
+    pub fn estimated_bytes(&self) -> u64 {
+        let cuts = self.cuts.as_ref().map_or(0, |c| c.len() as u64);
+        96 + 8 * self.mapping.len() as u64 + cuts
+    }
+}
+
 /// Stage 1 — the profiled circuit: DAG, communication graph, and the
 /// Para-Finding execution scheme. See the [module docs](self).
 #[derive(Clone, Debug)]
@@ -295,6 +457,83 @@ impl<'c> Profiled<'c> {
             scheme,
             profile_time: t.elapsed(),
         })
+    }
+
+    pub(crate) fn resume(
+        config: crate::compiler::EcmasConfig,
+        circuit: &'c Circuit,
+        chip: &Chip,
+        artifact: &ProfileArtifact,
+    ) -> Result<Self, CompileError> {
+        check_fit(circuit.qubits(), chip)?;
+        if artifact.qubits() != circuit.qubits() {
+            return Err(CompileError::InvalidMapping {
+                reason: format!(
+                    "profile artifact covers {} qubits, circuit has {}",
+                    artifact.qubits(),
+                    circuit.qubits()
+                ),
+            });
+        }
+        Ok(Profiled {
+            config,
+            circuit,
+            chip: Arc::new(chip.clone()),
+            dag: artifact.dag.clone(),
+            comm: artifact.comm.clone(),
+            scheme: artifact.scheme.clone(),
+            profile_time: artifact.profile_time,
+        })
+    }
+
+    /// Detaches the profiling outputs for caching; the stage itself is
+    /// untouched. See [`ProfileArtifact`] for the reuse rules.
+    #[must_use]
+    pub fn artifact(&self) -> ProfileArtifact {
+        ProfileArtifact {
+            dag: self.dag.clone(),
+            comm: self.comm.clone(),
+            scheme: self.scheme.clone(),
+            profile_time: self.profile_time,
+        }
+    }
+
+    /// Skips the mapping stage by resuming a cached [`MapArtifact`],
+    /// re-validating its mapping and cuts against this pipeline's circuit
+    /// and chip. The caller is responsible for the semantic validity
+    /// rules (same circuit, chip, `location`, and `cut_init` as the run
+    /// that produced the artifact — see [`MapArtifact`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::InvalidMapping`] when the mapping does not
+    /// assign every qubit a distinct in-range tile slot, or
+    /// [`CompileError::CutTypesMismatch`] when the cuts disagree with the
+    /// chip's code model.
+    pub fn resume_mapped(self, artifact: &MapArtifact) -> Result<Mapped<'c>, CompileError> {
+        let cuts_ok = match self.chip.model() {
+            CodeModel::DoubleDefect => {
+                artifact.cuts.as_ref().is_some_and(|c| c.len() == self.circuit.qubits())
+            }
+            CodeModel::LatticeSurgery => artifact.cuts.is_none(),
+        };
+        if !cuts_ok {
+            return Err(CompileError::CutTypesMismatch);
+        }
+        let mapped = Mapped {
+            profiled: self,
+            mapping: Vec::new(),
+            cuts: artifact.cuts.clone(),
+            cuts_injected: artifact.cuts_injected,
+            placement_restarts: artifact.placement_restarts,
+            map_time: artifact.map_time,
+        };
+        // `with_mapping` re-validates length, range, and uniqueness but
+        // zeroes `placement_restarts` (its injected-mapping contract), so
+        // restore the artifact's recorded value afterwards.
+        let mut mapped = mapped.with_mapping(artifact.mapping.clone())?;
+        mapped.placement_restarts = artifact.placement_restarts;
+        Ok(mapped)
     }
 
     /// The circuit being compiled.
@@ -389,6 +628,19 @@ pub struct Mapped<'c> {
 }
 
 impl<'c> Mapped<'c> {
+    /// Detaches the mapping outputs for caching; the stage itself is
+    /// untouched. See [`MapArtifact`] for the reuse rules.
+    #[must_use]
+    pub fn artifact(&self) -> MapArtifact {
+        MapArtifact {
+            mapping: self.mapping.clone(),
+            cuts: self.cuts.clone(),
+            cuts_injected: self.cuts_injected,
+            placement_restarts: self.placement_restarts,
+            map_time: self.map_time,
+        }
+    }
+
     /// The qubit → tile-slot mapping.
     #[must_use]
     pub fn mapping(&self) -> &[usize] {
@@ -603,6 +855,7 @@ impl<'c> Mapped<'c> {
             cycles: encoded.cycles(),
             events: encoded.events().len(),
             cut_modifications: encoded.modification_count(),
+            cache: CacheInfo::disabled(),
         };
         Scheduled { outcome: CompileOutcome { encoded, report } }
     }

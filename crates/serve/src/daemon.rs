@@ -14,6 +14,7 @@
 //! | `cancel` | `"job"` — cooperative cancellation |
 //! | `result` | `"job"` — blocking wait; emits the job's result line now |
 //! | `drain`  | emit every unreported result (submission order) + a summary |
+//! | `stats`  | non-blocking service + compile-cache counter snapshot |
 //!
 //! Job numbers are assigned sequentially from 1 in submission order, so a
 //! stream producer can refer to its own jobs without reading responses.
@@ -21,7 +22,7 @@
 //! ## Responses
 //!
 //! Every response is one JSON object with an `"op"` key: `submitted`,
-//! `status`, `cancel`, `result`, `drained`, or `error`. A `result` line
+//! `status`, `cancel`, `result`, `drained`, `stats`, or `error`. A `result` line
 //! for a completed job embeds the same `CompileReport` JSON object that
 //! `ecmasc --json` emits (and that CI validates against the report
 //! schema); cancelled / deadline-expired / failed jobs report a
@@ -113,7 +114,10 @@ impl Default for DaemonOptions {
         DaemonOptions {
             model: CodeModel::DoubleDefect,
             chip: ChipKind::Min,
-            service: ServiceConfig::default(),
+            // Unlike the embeddable `CompileService` (cache off unless
+            // asked), a daemon serves a long-lived repetitive stream, so
+            // the compile cache defaults on at a modest budget.
+            service: ServiceConfig { cache_bytes: 64 * 1024 * 1024, ..ServiceConfig::default() },
         }
     }
 }
@@ -210,6 +214,7 @@ impl Daemon {
             "cancel" => self.cancel(&request),
             "result" => self.result(&request),
             "drain" => self.drain(),
+            "stats" => vec![self.stats_line()],
             other => vec![error_line(&format!("unknown op {other:?}"))],
         }
     }
@@ -355,6 +360,50 @@ impl Daemon {
         vec![self.take_result(index)]
     }
 
+    /// Renders the `stats` response: submission/lifecycle tallies plus
+    /// the service-wide compile-cache counters. Non-blocking — in-flight
+    /// jobs count as pending. With the cache disabled the `"cache"`
+    /// object is present with `"enabled":false` and zeroed counters, so
+    /// consumers can parse one shape unconditionally.
+    fn stats_line(&self) -> String {
+        let mut pending = 0usize;
+        let mut done = 0usize;
+        let mut cancelled = 0usize;
+        let mut deadline = 0usize;
+        let mut failed = 0usize;
+        for entry in &self.entries {
+            match entry.state {
+                EntryState::Pending(_) => pending += 1,
+                EntryState::Ready { label, .. } | EntryState::Reported(label) => match label {
+                    "done" => done += 1,
+                    "cancelled" => cancelled += 1,
+                    "deadline" => deadline += 1,
+                    _ => failed += 1,
+                },
+            }
+        }
+        let cache = self.service.cache_stats();
+        let enabled = cache.is_some();
+        let c = cache.unwrap_or_default();
+        format!(
+            "{{\"op\":\"stats\",\"jobs\":{},\"pending\":{pending},\"done\":{done},\
+             \"cancelled\":{cancelled},\"deadline\":{deadline},\"failed\":{failed},\
+             \"queued\":{},\"workers\":{},\"cache\":{{\"enabled\":{enabled},\
+             \"hits\":{},\"misses\":{},\"stage_hits\":{},\"evictions\":{},\
+             \"resident_bytes\":{},\"coalesced_waits\":{},\"entries\":{}}}}}",
+            self.entries.len(),
+            self.service.queued(),
+            self.service.workers(),
+            c.hits,
+            c.misses,
+            c.stage_hits,
+            c.evictions,
+            c.resident_bytes,
+            c.coalesced_waits,
+            c.entries,
+        )
+    }
+
     /// Reports job `index` (it must not be reported yet): waits if the
     /// job is still in flight, records its final status, and returns its
     /// result line.
@@ -490,6 +539,7 @@ mod tests {
                 workers,
                 queue_capacity: 64,
                 backpressure: Backpressure::Block,
+                ..ServiceConfig::default()
             },
         })
     }
@@ -570,6 +620,45 @@ mod tests {
         }
         assert!(d.handle_line("").is_empty());
         assert_eq!(d.submitted(), 0);
+    }
+
+    #[test]
+    fn stats_reports_zeroed_disabled_cache() {
+        let mut d = daemon(1);
+        let stats = one(d.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("op").unwrap().as_str(), Some("stats"));
+        assert_eq!(stats.get("jobs").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("workers").unwrap().as_u64(), Some(1));
+        let cache = stats.get("cache").expect("cache object present even when disabled");
+        assert_eq!(cache.get("enabled").unwrap().as_bool(), Some(false));
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(0));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn stats_counts_cache_hits_on_duplicate_submits() {
+        // Default daemon options enable the cache.
+        let mut d = Daemon::new(DaemonOptions::default());
+        let submit = r#"{"op":"submit","random":{"qubits":8,"depth":6,"parallelism":2,"seed":11}}"#;
+        for _ in 0..3 {
+            let resp = one(d.handle_line(submit));
+            assert_eq!(resp.get("op").unwrap().as_str(), Some("submitted"));
+        }
+        let lines = d.drain();
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        for line in &lines[..3] {
+            let result = json::parse(line).unwrap();
+            assert_eq!(result.get("status").unwrap().as_str(), Some("done"));
+        }
+        let stats = one(d.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("done").unwrap().as_u64(), Some(3));
+        let cache = stats.get("cache").expect("cache object");
+        assert_eq!(cache.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        let hits = cache.get("hits").unwrap().as_u64().unwrap();
+        let coalesced = cache.get("coalesced_waits").unwrap().as_u64().unwrap();
+        assert_eq!(hits + coalesced, 2, "duplicates served from the cache");
+        assert!(cache.get("resident_bytes").unwrap().as_u64().unwrap() > 0);
     }
 
     #[test]

@@ -18,8 +18,17 @@
 //! heterogeneous variant (per-job compiler *and* chip) the `table*`
 //! binaries fan out over.
 //!
+//! A [`CompileService`] can front its built-in pipeline with the
+//! `ecmas-cache` content-addressed compile cache
+//! ([`ServiceConfig::cache_bytes`]): repeated requests are served from
+//! the byte-budgeted LRU, identical concurrent requests coalesce into
+//! one compile, and partially-matching requests reuse cached
+//! profile/map stage artifacts. Every report then carries its cache
+//! provenance (`report.cache`), and [`CompileService::cache_stats`]
+//! snapshots the service-wide counters.
+//!
 //! The [`daemon`] module implements the `ecmasd` newline-delimited JSON
-//! protocol (submit / status / cancel / result / drain) over a
+//! protocol (submit / status / cancel / result / drain / stats) over a
 //! [`CompileService`], and [`daemon::stress_stream`] renders an
 //! `ecmas_circuit::random::StressWorkload` as a ready-to-pipe job
 //! stream.

@@ -18,6 +18,14 @@
 //! workspace is deterministic and jobs share no mutable state — so a
 //! job's result is bit-identical whether the pool has 1 worker or 16,
 //! and identical to calling the compiler directly.
+//!
+//! With [`ServiceConfig::cache_bytes`] set, built-in requests run behind
+//! the `ecmas-cache` content-addressed cache: full-result hits skip the
+//! pipeline, identical concurrent jobs coalesce into one compile, and
+//! misses reuse cached profile/map stage artifacts where the config
+//! allows. Determinism makes this transparent — a cached result is
+//! bit-identical (schedule and report, minus wall-clock timings and the
+//! `report.cache` provenance block) to a cold compile.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,14 +33,19 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ecmas_cache::{full_key, map_key, profile_key, Begin, CacheStats, CompileCache, FollowStatus};
 use ecmas_chip::Chip;
 use ecmas_circuit::Circuit;
 use ecmas_core::compiler::EcmasConfig;
-use ecmas_core::session::{CompileOutcome, Compiler};
+use ecmas_core::session::{CacheSource, CompileOutcome, Compiler};
 use ecmas_core::Ecmas;
 
 use crate::job::{JobError, JobHandle, Slot};
 use crate::queue::{Backpressure, JobQueue, PushError};
+
+/// How long a coalesced follower parks before running its own
+/// cancellation/deadline checkpoint and parking again.
+const COALESCE_POLL: Duration = Duration::from_millis(25);
 
 /// Sizing and backpressure policy of a [`CompileService`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,11 +57,20 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// What a submission does when the queue is at capacity.
     pub backpressure: Backpressure,
+    /// Byte budget of the content-addressed compile cache fronting the
+    /// built-in Ecmas pipeline; `0` (the default) disables caching
+    /// entirely. Custom compilers always bypass the cache.
+    pub cache_bytes: u64,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 0, queue_capacity: 0, backpressure: Backpressure::Block }
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 0,
+            backpressure: Backpressure::Block,
+            cache_bytes: 0,
+        }
     }
 }
 
@@ -74,6 +96,20 @@ pub enum ScheduleMode {
     Limited,
     /// Algorithm 2, Ecmas-ReSu.
     ReSu,
+}
+
+impl ScheduleMode {
+    /// Stable lowercase label (used in cache keys and the daemon
+    /// protocol). Cache keys hash this string, so renaming a label
+    /// silently invalidates every cached result for that mode.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ScheduleMode::Auto => "auto",
+            ScheduleMode::Limited => "limited",
+            ScheduleMode::ReSu => "resu",
+        }
+    }
 }
 
 enum Pipeline {
@@ -311,34 +347,142 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// An owned service job: the request, ready to run on a 'static worker.
-struct OwnedJob(CompileRequest);
+/// An owned service job: the request plus the service's shared compile
+/// cache (when one is configured), ready to run on a 'static worker.
+struct OwnedJob {
+    request: CompileRequest,
+    cache: Option<Arc<CompileCache>>,
+}
 
 impl RunJob for OwnedJob {
     fn run(self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError> {
-        let OwnedJob(request) = self;
+        let OwnedJob { request, cache } = self;
         match request.pipeline {
             Pipeline::Ecmas { config, mode } => {
-                // The staged pipeline with a checkpoint at every stage
-                // boundary: a cancel or deadline lapse stops the job at
-                // the next boundary instead of after the whole compile.
-                let compiler = Ecmas::new(config);
-                ctl.checkpoint()?;
-                let profiled = compiler.session(&request.circuit, &request.chip)?;
-                ctl.checkpoint()?;
-                let mapped = profiled.map()?;
-                ctl.checkpoint()?;
-                let scheduled = match mode {
-                    ScheduleMode::Auto => mapped.schedule_auto(),
-                    ScheduleMode::Limited => mapped.schedule(),
-                    ScheduleMode::ReSu => mapped.schedule_resu(),
-                }?;
-                Ok(scheduled.into_outcome())
+                if let Some(cache) = cache {
+                    return run_cached(&cache, &request.circuit, &request.chip, config, mode, ctl);
+                }
+                let (outcome, _) =
+                    run_stages(None, &request.circuit, &request.chip, config, mode, ctl)?;
+                Ok(outcome)
             }
             Pipeline::Custom(compiler) => {
+                // Custom compilers bypass the cache: their identity is an
+                // opaque trait object the content hash cannot see.
                 ctl.checkpoint()?;
                 Ok(compiler.compile_outcome(&request.circuit, &request.chip)?)
             }
+        }
+    }
+}
+
+/// The staged pipeline with a checkpoint at every stage boundary: a
+/// cancel or deadline lapse stops the job at the next boundary instead
+/// of after the whole compile. With a cache, each stage first tries the
+/// corresponding cached artifact (profile: keyed by circuit alone; map:
+/// keyed by circuit + chip + mapping-relevant config) and publishes what
+/// it computes; the returned [`CacheSource`] says how much was reused.
+fn run_stages(
+    cache: Option<&Arc<CompileCache>>,
+    circuit: &Circuit,
+    chip: &Chip,
+    config: EcmasConfig,
+    mode: ScheduleMode,
+    ctl: &JobCtl<'_>,
+) -> Result<(CompileOutcome, CacheSource), JobError> {
+    let compiler = Ecmas::new(config);
+    ctl.checkpoint()?;
+    let (profiled, profile_reused) = match cache.and_then(|c| {
+        let key = profile_key(circuit);
+        c.get_profile(key).map(|artifact| (key, artifact))
+    }) {
+        Some((_, artifact)) => (compiler.resume_session(circuit, chip, &artifact)?, true),
+        None => {
+            let profiled = compiler.session(circuit, chip)?;
+            if let Some(cache) = cache {
+                cache.put_profile(profile_key(circuit), Arc::new(profiled.artifact()));
+            }
+            (profiled, false)
+        }
+    };
+    ctl.checkpoint()?;
+    let (mapped, map_reused) = match cache.and_then(|c| c.get_map(map_key(circuit, chip, &config)))
+    {
+        Some(artifact) => (profiled.resume_mapped(&artifact)?, true),
+        None => {
+            let mapped = profiled.map()?;
+            if let Some(cache) = cache {
+                cache.put_map(map_key(circuit, chip, &config), Arc::new(mapped.artifact()));
+            }
+            (mapped, false)
+        }
+    };
+    ctl.checkpoint()?;
+    let scheduled = match mode {
+        ScheduleMode::Auto => mapped.schedule_auto(),
+        ScheduleMode::Limited => mapped.schedule(),
+        ScheduleMode::ReSu => mapped.schedule_resu(),
+    }?;
+    let source = if map_reused {
+        CacheSource::MapReuse
+    } else if profile_reused {
+        CacheSource::ProfileReuse
+    } else {
+        CacheSource::Miss
+    };
+    Ok((scheduled.into_outcome(), source))
+}
+
+/// The cached dispatch path: full-result lookup with in-flight
+/// coalescing in front of [`run_stages`]. Every parked wait is bounded
+/// by [`COALESCE_POLL`] so followers keep honoring their own deadlines
+/// and cancellations while the leader compiles.
+fn run_cached(
+    cache: &Arc<CompileCache>,
+    circuit: &Circuit,
+    chip: &Chip,
+    config: EcmasConfig,
+    mode: ScheduleMode,
+    ctl: &JobCtl<'_>,
+) -> Result<CompileOutcome, JobError> {
+    let key = full_key(circuit, chip, &config, mode.label());
+    loop {
+        ctl.checkpoint()?;
+        match cache.begin(key) {
+            Begin::Hit(shared) => {
+                let mut outcome = (*shared).clone();
+                outcome.report.cache = cache.info(CacheSource::Hit);
+                return Ok(outcome);
+            }
+            Begin::Lead(lead) => {
+                match run_stages(Some(cache), circuit, chip, config, mode, ctl) {
+                    Ok((mut outcome, source)) => {
+                        outcome.report.cache = cache.info(source);
+                        let shared = lead.complete(outcome);
+                        return Ok((*shared).clone());
+                    }
+                    Err(JobError::Compile(error)) => {
+                        lead.fail(error.clone());
+                        return Err(JobError::Compile(error));
+                    }
+                    // Cancelled / deadline / panic-adjacent: dropping the
+                    // guard abandons the flight and wakes the followers,
+                    // whose next poll elects a new leader.
+                    Err(other) => return Err(other),
+                }
+            }
+            Begin::Follow(follow) => loop {
+                match follow.poll(COALESCE_POLL) {
+                    FollowStatus::Ready(Ok(shared)) => {
+                        let mut outcome = (*shared).clone();
+                        outcome.report.cache = cache.info(CacheSource::Coalesced);
+                        return Ok(outcome);
+                    }
+                    FollowStatus::Ready(Err(error)) => return Err(JobError::Compile(error)),
+                    FollowStatus::Abandoned => break,
+                    FollowStatus::Pending => ctl.checkpoint()?,
+                }
+            },
         }
     }
 }
@@ -366,6 +510,7 @@ impl RunJob for OwnedJob {
 /// ```
 pub struct CompileService {
     core: Arc<ServiceCore<OwnedJob>>,
+    cache: Option<Arc<CompileCache>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -379,6 +524,12 @@ impl CompileService {
     pub fn new(config: ServiceConfig) -> Self {
         let (workers, capacity) = config.resolved();
         let core = Arc::new(ServiceCore::new(capacity, config.backpressure));
+        let cache = (config.cache_bytes > 0).then(|| {
+            CompileCache::new(ecmas_cache::CacheConfig {
+                byte_budget: config.cache_bytes,
+                stage_artifacts: true,
+            })
+        });
         let handles = (0..workers)
             .map(|i| {
                 let core = Arc::clone(&core);
@@ -388,7 +539,7 @@ impl CompileService {
                     .expect("spawn service worker")
             })
             .collect();
-        CompileService { core, workers: handles }
+        CompileService { core, cache, workers: handles }
     }
 
     /// Submits a request; returns immediately with the job's handle
@@ -400,11 +551,21 @@ impl CompileService {
     /// [`SubmitError::Saturated`] when the queue is full under
     /// [`Backpressure::Reject`].
     pub fn submit(&self, request: CompileRequest) -> Result<JobHandle, SubmitError> {
-        match self.core.submit(request.deadline, OwnedJob(request)) {
+        let job = OwnedJob { request, cache: self.cache.clone() };
+        match self.core.submit(job.request.deadline, job) {
             Ok(handle) => Ok(handle),
-            Err(PushError::Full(OwnedJob(r))) => Err(SubmitError::Saturated(Box::new(r))),
+            Err(PushError::Full(OwnedJob { request, .. })) => {
+                Err(SubmitError::Saturated(Box::new(request)))
+            }
             Err(PushError::Closed(_)) => unreachable!("queue closes only on shutdown/drop"),
         }
+    }
+
+    /// A point-in-time snapshot of the compile-cache counters, or `None`
+    /// when the service was configured with `cache_bytes: 0`.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Jobs accepted but not yet picked up by a worker.

@@ -4,7 +4,8 @@
 //! ```sh
 //! ecmasc program.qasm [--model dd|ls] [--chip min|4x|congested|sufficient]
 //!                     [--timeline N] [--json]
-//! ecmasc --jobs list.txt [--workers N] [--model …] [--chip …]
+//! ecmasc --jobs list.txt [--workers N] [--repeat N] [--cache-mb M]
+//!        [--model …] [--chip …]
 //! ```
 //!
 //! By default the resource-adaptive pipeline runs (`Ecmas::compile_auto`:
@@ -19,8 +20,11 @@
 //! non-`#` line of the file is a QASM path, all of them are submitted to
 //! an `ecmas-serve` `CompileService` (`--workers` threads, one per core
 //! by default), and one `--json`-shaped line per job is printed in
-//! submission order. For a long-running stdin-driven service, see
-//! `ecmasd`.
+//! submission order. `--repeat N` submits the whole list N times and
+//! `--cache-mb M` fronts the service with the content-addressed compile
+//! cache, so repeated paths come back as cache hits (visible in each
+//! report's `"cache"` object). For a long-running stdin-driven service,
+//! see `ecmasd`.
 
 use std::process::ExitCode;
 
@@ -38,6 +42,8 @@ struct Args {
     json: bool,
     jobs: bool,
     workers: usize,
+    repeat: usize,
+    cache_bytes: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
     let mut json = false;
     let mut jobs = false;
     let mut workers = 0usize;
+    let mut repeat = 1usize;
+    let mut cache_bytes = 0u64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--model" => {
@@ -84,10 +92,25 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("missing/invalid value for --workers")?;
             }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("missing/invalid value for --repeat (want a positive count)")?;
+            }
+            "--cache-mb" => {
+                let mb: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing/invalid value for --cache-mb")?;
+                cache_bytes = mb * 1024 * 1024;
+            }
             "--help" | "-h" => {
                 return Err("usage: ecmasc <file.qasm> [--model dd|ls] \
                             [--chip min|4x|congested|sufficient] [--timeline N] [--json] | \
-                            ecmasc --jobs <list.txt> [--workers N] [--model …] [--chip …]"
+                            ecmasc --jobs <list.txt> [--workers N] [--repeat N] [--cache-mb M] \
+                            [--model …] [--chip …]"
                     .into());
             }
             other if path.is_none() && !jobs && !other.starts_with('-') => {
@@ -97,7 +120,7 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let path = path.ok_or("missing input file (see --help)")?;
-    Ok(Args { path, model, chip, timeline, json, jobs, workers })
+    Ok(Args { path, model, chip, timeline, json, jobs, workers, repeat, cache_bytes })
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, String> {
@@ -135,16 +158,21 @@ fn run_jobs(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("cannot read {}: {e}", args.path))?;
     let paths: Vec<&str> =
         list.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
-    let service =
-        CompileService::new(ServiceConfig { workers: args.workers, ..ServiceConfig::default() });
+    let service = CompileService::new(ServiceConfig {
+        workers: args.workers,
+        cache_bytes: args.cache_bytes,
+        ..ServiceConfig::default()
+    });
     let mut submitted = Vec::new();
-    for path in &paths {
-        let circuit = load_circuit(path)?;
-        let chip = args.chip.build(args.model, &circuit).map_err(|e| e.to_string())?;
-        let handle = service
-            .submit(CompileRequest::new(circuit.clone(), chip.clone()))
-            .map_err(|e| e.to_string())?;
-        submitted.push((path, circuit, chip, handle));
+    for _ in 0..args.repeat {
+        for path in &paths {
+            let circuit = load_circuit(path)?;
+            let chip = args.chip.build(args.model, &circuit).map_err(|e| e.to_string())?;
+            let handle = service
+                .submit(CompileRequest::new(circuit.clone(), chip.clone()))
+                .map_err(|e| e.to_string())?;
+            submitted.push((*path, circuit, chip, handle));
+        }
     }
     for (path, circuit, chip, handle) in submitted {
         let outcome = handle.wait().map_err(|e| format!("{path}: {e}"))?;

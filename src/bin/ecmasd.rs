@@ -3,12 +3,15 @@
 //!
 //! ```sh
 //! ecmasd [--model dd|ls] [--chip min|4x|congested|sufficient]
-//!        [--workers N] [--queue N] [--reject]
+//!        [--workers N] [--queue N] [--reject] [--cache-mb M]
 //! ```
 //!
 //! One request object per input line (`submit` / `status` / `cancel` /
-//! `result` / `drain` — see `ecmas_serve::daemon` for the schema), one
-//! response object per output line. At EOF the daemon drains: every
+//! `result` / `drain` / `stats` — see `ecmas_serve::daemon` for the
+//! schema), one response object per output line. The content-addressed
+//! compile cache defaults on at 64 MiB; `--cache-mb` resizes it and
+//! `--cache-mb 0` disables it (`stats` reports the hit/miss/eviction
+//! counters either way). At EOF the daemon drains: every
 //! unreported job gets its `result` line (the same `CompileReport` JSON
 //! `ecmasc --json` emits) followed by a `drained` summary. The job queue
 //! is bounded: when it is full, reading stdin stalls — backpressure
@@ -19,14 +22,18 @@
 //!
 //! ```sh
 //! ecmasd --emit-stress 1000 --seed 7 [--qubits-max 49] [--depth-max 1500]
-//!        [--cancel-every 50] [--deadline-ms 60000]
+//!        [--dup-percent 60] [--cancel-every 50] [--deadline-ms 60000]
 //! ```
 //!
 //! prints a deterministic seeded `StressWorkload` as a ready-to-pipe job
-//! stream, so a full service exercise is one shell line:
+//! stream (`--dup-percent` makes that percentage of jobs exact repeats
+//! of earlier ones, Zipf-skewed toward a few hot circuits — the shape
+//! that exercises the compile cache), so a full service exercise is one
+//! shell line:
 //!
 //! ```sh
-//! ecmasd --emit-stress 1000 --seed 7 | ecmasd --chip congested --model ls
+//! ecmasd --emit-stress 1000 --seed 7 --dup-percent 60 \
+//!     | ecmasd --chip congested --model ls
 //! ```
 
 use std::io::{BufRead, Write};
@@ -43,6 +50,7 @@ struct Args {
     seed: u64,
     qubits_max: usize,
     depth_max: usize,
+    dup_percent: u8,
     cancel_every: Option<usize>,
     deadline_ms: Option<u64>,
 }
@@ -54,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 0u64;
     let mut qubits_max = 49usize;
     let mut depth_max = 1500usize;
+    let mut dup_percent = 0u8;
     let mut cancel_every = None;
     let mut deadline_ms = None;
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -82,6 +91,10 @@ fn parse_args() -> Result<Args, String> {
                     parse_num(&value(&mut args, "--queue")?, "--queue")?;
             }
             "--reject" => options.service.backpressure = Backpressure::Reject,
+            "--cache-mb" => {
+                let mb: u64 = parse_num(&value(&mut args, "--cache-mb")?, "--cache-mb")?;
+                options.service.cache_bytes = mb * 1024 * 1024;
+            }
             "--emit-stress" => {
                 emit_stress =
                     Some(parse_num(&value(&mut args, "--emit-stress")?, "--emit-stress")?);
@@ -92,6 +105,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--depth-max" => {
                 depth_max = parse_num(&value(&mut args, "--depth-max")?, "--depth-max")?;
+            }
+            "--dup-percent" => {
+                dup_percent = parse_num(&value(&mut args, "--dup-percent")?, "--dup-percent")?;
+                if dup_percent > 100 {
+                    return Err("--dup-percent must be 0..=100".into());
+                }
             }
             "--cancel-every" => {
                 cancel_every =
@@ -104,14 +123,24 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: ecmasd [--model dd|ls] \
                             [--chip min|4x|congested|sufficient] [--workers N] [--queue N] \
-                            [--reject] | ecmasd --emit-stress N [--seed S] [--qubits-max Q] \
-                            [--depth-max D] [--cancel-every K] [--deadline-ms MS]"
+                            [--reject] [--cache-mb M] | ecmasd --emit-stress N [--seed S] \
+                            [--qubits-max Q] [--depth-max D] [--dup-percent P] \
+                            [--cancel-every K] [--deadline-ms MS]"
                     .into());
             }
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(Args { options, emit_stress, seed, qubits_max, depth_max, cancel_every, deadline_ms })
+    Ok(Args {
+        options,
+        emit_stress,
+        seed,
+        qubits_max,
+        depth_max,
+        dup_percent,
+        cancel_every,
+        deadline_ms,
+    })
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
@@ -132,6 +161,7 @@ fn run() -> Result<(), String> {
         let spec = StressSpec {
             max_depth: args.depth_max,
             min_depth: base.min_depth.min(args.depth_max),
+            dup_percent: args.dup_percent,
             ..base
         };
         print!("{}", stress_stream(&spec, args.cancel_every, args.deadline_ms));

@@ -47,15 +47,23 @@
 #![warn(missing_docs)]
 
 pub use ecmas_core::{
-    compiler, cut, encoded, engine, error, hardness, mapping, profile, resu, session, viz,
+    compiler, cut, encoded, engine, error, hardness, mapping, profile, resu, session, stable, viz,
 };
 
 pub use ecmas_core::{
-    para_finding, schedule_limited, schedule_sufficient, validate_encoded, Algorithm, CompileError,
-    CompileOutcome, CompileReport, Compiler, CutInitStrategy, CutPolicy, CutType, Ecmas,
-    EcmasConfig, EncodedCircuit, Event, EventKind, ExecutionScheme, GateOrder, LocationStrategy,
-    ScheduleConfig, ValidateError,
+    fingerprint_encoded, para_finding, schedule_limited, schedule_sufficient, validate_encoded,
+    Algorithm, CacheInfo, CacheSource, CompileError, CompileOutcome, CompileReport, Compiler,
+    CutInitStrategy, CutPolicy, CutType, Ecmas, EcmasConfig, EncodedCircuit, Event, EventKind,
+    ExecutionScheme, GateOrder, LocationStrategy, MapArtifact, ProfileArtifact, ScheduleConfig,
+    StableHasher, ValidateError,
 };
+
+/// The compile-cache layer (`ecmas-cache`), re-exported whole:
+/// content-addressed keys, the byte-budgeted LRU, and in-flight
+/// coalescing (see `ecmas_cache` for the design).
+pub use ecmas_cache as cache;
+
+pub use ecmas_cache::{CacheConfig, CacheStats, CompileCache, CompileKey};
 
 /// The service layer (`ecmas-serve`), re-exported whole: job queue,
 /// handles, deadlines, batch facades, and the `ecmasd` protocol engine.

@@ -1,0 +1,220 @@
+//! Integration tests for the `ecmas-cache` compile cache behind the
+//! service layer: cached results must be bit-identical to cold compiles
+//! (the cache is an optimization, never an answer change), the resident
+//! byte total must respect the budget with real eviction, stage-artifact
+//! reuse must survive schedule-knob changes unchanged, and a burst of
+//! identical jobs must coalesce into exactly one compile.
+
+use ecmas::{
+    fingerprint_encoded, CacheSource, CompileOutcome, CompileRequest, CompileService,
+    CutInitStrategy, CutPolicy, EcmasConfig, GateOrder, ScheduleMode, ServiceConfig,
+};
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::random;
+use proptest::prelude::*;
+
+fn service_with_cache(workers: usize, cache_bytes: u64) -> CompileService {
+    CompileService::new(ServiceConfig { workers, cache_bytes, ..ServiceConfig::default() })
+}
+
+/// Removes `,"<key>":{...}` (the comma through the matching close brace)
+/// from a flat-ish JSON object string. Used to drop the two
+/// run-dependent report fields — wall-clock timings and cache provenance
+/// — before comparing reports byte-for-byte.
+fn strip_object(json: &str, key: &str) -> String {
+    let pattern = format!(",\"{key}\":{{");
+    let start = json.find(&pattern).unwrap_or_else(|| panic!("report has no {key:?}: {json}"));
+    let mut depth = 0usize;
+    for (offset, b) in json[start + pattern.len() - 1..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    let end = start + pattern.len() - 1 + offset;
+                    return format!("{}{}", &json[..start], &json[end + 1..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated {key:?} object in {json}");
+}
+
+/// A report with timings and cache provenance removed: everything left
+/// (cycles, events, ĝPM, router counters, algorithm, …) must be
+/// identical between cached and uncached compiles.
+fn canonical_report(outcome: &CompileOutcome) -> String {
+    strip_object(&strip_object(&outcome.report.to_json(), "timings_ms"), "cache")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: across random circuits, both code models, both explicit
+    /// schedule modes, randomized config knobs, and 1- or 4-worker
+    /// pools, a cache-fronted service returns results bit-identical to
+    /// an uncached one — on the cold pass (miss) and the warm pass (hit).
+    #[test]
+    fn cached_results_are_bit_identical_to_uncached(
+        seed in 0u64..1000,
+        pm in 1usize..5,
+        workers_pick in 0usize..2,
+        model_pick in 0u8..2,
+        mode_pick in 0u8..2,
+        // order (2) × cut policy (3) × adjust-bandwidth (2), packed into
+        // one draw (the vendored proptest tuples cap at 6 strategies).
+        knobs in 0u8..12,
+    ) {
+        let circuit = random::layered(12, 8, pm, seed);
+        let model =
+            if model_pick == 0 { CodeModel::DoubleDefect } else { CodeModel::LatticeSurgery };
+        let chip = Chip::min_viable(model, 12, 3).unwrap();
+        let mode = if mode_pick == 0 { ScheduleMode::Auto } else { ScheduleMode::Limited };
+        let config = EcmasConfig {
+            order: if knobs % 2 == 0 { GateOrder::Priority } else { GateOrder::CircuitOrder },
+            cut_policy: match (knobs / 2) % 3 {
+                0 => CutPolicy::Adaptive,
+                1 => CutPolicy::TimeFirst,
+                _ => CutPolicy::NeverModify,
+            },
+            adjust_bandwidth: knobs / 6 == 0,
+            ..EcmasConfig::default()
+        };
+        let workers = [1usize, 4][workers_pick];
+        let request = || {
+            CompileRequest::new(circuit.clone(), chip.clone())
+                .with_config(config)
+                .with_mode(mode)
+        };
+
+        let uncached = service_with_cache(workers, 0);
+        let cold = uncached.submit(request()).unwrap().wait().unwrap();
+        prop_assert_eq!(cold.report.cache.source, CacheSource::Disabled);
+
+        let cached = service_with_cache(workers, 16 * 1024 * 1024);
+        let first = cached.submit(request()).unwrap().wait().unwrap();
+        let second = cached.submit(request()).unwrap().wait().unwrap();
+        prop_assert_eq!(second.report.cache.source, CacheSource::Hit);
+
+        for warm in [&first, &second] {
+            prop_assert_eq!(canonical_report(warm), canonical_report(&cold));
+            prop_assert_eq!(warm.encoded.events(), cold.encoded.events());
+            prop_assert_eq!(warm.encoded.mapping(), cold.encoded.mapping());
+            prop_assert_eq!(
+                fingerprint_encoded(&warm.encoded),
+                fingerprint_encoded(&cold.encoded)
+            );
+        }
+        let stats = cached.cache_stats().unwrap();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits, 1);
+    }
+}
+
+/// Changing only a schedule-stage knob must reuse the cached profile and
+/// map artifacts (`stage_hits` > 0, source `MapReuse`) and still produce
+/// output bit-identical to a cold compile under the new config.
+#[test]
+fn stage_artifact_reuse_is_bit_identical_to_cold_compiles() {
+    let circuit = random::layered(14, 10, 4, 0xCAFE);
+    let chip = Chip::min_viable(CodeModel::DoubleDefect, 14, 3).unwrap();
+    let config_a = EcmasConfig::default();
+    // Schedule-only changes: the mapping inputs (location, cut_init) are
+    // untouched, so the map key — and therefore the cached artifacts —
+    // stay valid.
+    let config_b = EcmasConfig {
+        order: GateOrder::CircuitOrder,
+        cut_policy: CutPolicy::ChannelFirst,
+        adjust_bandwidth: false,
+        ..config_a
+    };
+    assert_eq!(config_a.cut_init, CutInitStrategy::GreedyBipartitePrefix);
+
+    let cached = service_with_cache(2, 16 * 1024 * 1024);
+    let warmup = cached
+        .submit(CompileRequest::new(circuit.clone(), chip.clone()).with_config(config_a))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(warmup.report.cache.source, CacheSource::Miss);
+    let reused = cached
+        .submit(CompileRequest::new(circuit.clone(), chip.clone()).with_config(config_b))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(reused.report.cache.source, CacheSource::MapReuse);
+    assert!(cached.cache_stats().unwrap().stage_hits >= 1, "map reuse counts as a stage hit");
+
+    let uncached = service_with_cache(2, 0);
+    let cold = uncached
+        .submit(CompileRequest::new(circuit.clone(), chip).with_config(config_b))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(canonical_report(&reused), canonical_report(&cold));
+    assert_eq!(reused.encoded.events(), cold.encoded.events());
+    assert_eq!(fingerprint_encoded(&reused.encoded), fingerprint_encoded(&cold.encoded));
+}
+
+/// The resident byte estimate never exceeds the configured budget, and a
+/// stream of distinct jobs through a small budget actually evicts.
+#[test]
+fn resident_bytes_respect_the_budget_and_eviction_happens() {
+    // Small enough that a handful of outcomes overflow it, large enough
+    // that a single outcome fits (an oversized insert would be refused
+    // and nothing would ever be resident).
+    let budget = 24 * 1024u64;
+    let service = service_with_cache(2, budget);
+    let chip = |q: usize| Chip::min_viable(CodeModel::LatticeSurgery, q, 3).unwrap();
+    for seed in 0..12u64 {
+        let circuit = random::layered(10, 8, 3, seed);
+        let outcome =
+            service.submit(CompileRequest::new(circuit.clone(), chip(10))).unwrap().wait().unwrap();
+        let stats = service.cache_stats().unwrap();
+        assert!(
+            stats.resident_bytes <= budget,
+            "resident {} exceeds budget {budget} after seed {seed}",
+            stats.resident_bytes
+        );
+        assert!(stats.resident_bytes > 0, "something must be resident");
+        drop(outcome);
+    }
+    let stats = service.cache_stats().unwrap();
+    assert!(stats.evictions > 0, "12 distinct jobs through {budget} bytes must evict: {stats:?}");
+    assert_eq!(stats.misses, 12, "distinct jobs never hit");
+}
+
+/// A burst of identical jobs on a multi-worker pool runs the compiler
+/// exactly once: one miss, and every other job served as a hit or a
+/// coalesced wait — all bit-identical.
+#[test]
+fn identical_burst_coalesces_into_one_compile() {
+    let burst = 8usize;
+    let circuit = random::layered(12, 10, 4, 0xB0057);
+    let chip = Chip::min_viable(CodeModel::DoubleDefect, 12, 3).unwrap();
+    let service = service_with_cache(4, 16 * 1024 * 1024);
+    let handles: Vec<_> = (0..burst)
+        .map(|_| service.submit(CompileRequest::new(circuit.clone(), chip.clone())).unwrap())
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+    for outcome in &outcomes[1..] {
+        assert_eq!(canonical_report(outcome), canonical_report(&outcomes[0]));
+        assert_eq!(outcome.encoded.events(), outcomes[0].encoded.events());
+    }
+    let stats = service.cache_stats().unwrap();
+    assert_eq!(stats.misses, 1, "one compile for the whole burst: {stats:?}");
+    assert_eq!(
+        stats.hits + stats.coalesced_waits,
+        burst as u64 - 1,
+        "everyone else was served from the cache or the in-flight compile: {stats:?}"
+    );
+    let sources: Vec<_> = outcomes.iter().map(|o| o.report.cache.source).collect();
+    assert!(sources.contains(&CacheSource::Miss), "{sources:?}");
+    assert!(
+        sources
+            .iter()
+            .all(|s| matches!(s, CacheSource::Miss | CacheSource::Hit | CacheSource::Coalesced)),
+        "{sources:?}"
+    );
+}

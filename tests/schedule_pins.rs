@@ -9,41 +9,10 @@
 //! mismatch, not just a cycle-count drift.
 
 use ecmas::session::Compiler;
+use ecmas::stable::fingerprint_encoded as fingerprint;
 use ecmas::{Ecmas, EcmasConfig};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::{benchmarks, random};
-use ecmas_core::encoded::{EncodedCircuit, EventKind};
-
-/// FNV-1a over the full event stream.
-fn fingerprint(enc: &EncodedCircuit) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |x: u64| {
-        for byte in x.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for event in enc.events() {
-        mix(event.gate.map_or(u64::MAX, |g| g as u64));
-        mix(event.start);
-        let (tag, qubit) = match &event.kind {
-            EventKind::Braid { .. } => (1, 0),
-            EventKind::DirectSameCut { .. } => (2, 0),
-            EventKind::LatticeCnot { .. } => (3, 0),
-            EventKind::CutModification { qubit } => (4, *qubit as u64),
-            _ => (5, 0),
-        };
-        mix(tag);
-        mix(qubit);
-        if let Some(path) = event.kind.path() {
-            for &cell in path.cells() {
-                mix(cell as u64);
-            }
-        }
-    }
-    mix(enc.cycles());
-    h
-}
 
 fn compile_fingerprint(circuit: &ecmas_circuit::Circuit, chip: &Chip) -> (u64, u64) {
     let outcome = Ecmas::new(EcmasConfig::default()).compile_outcome(circuit, chip).unwrap();

@@ -129,6 +129,7 @@ fn cancellation_stops_queued_jobs() {
         workers: 1,
         queue_capacity: 16,
         backpressure: Backpressure::Block,
+        ..ServiceConfig::default()
     });
     let chip = Chip::min_viable(CodeModel::LatticeSurgery, 9, 3).unwrap();
     let submit = || {
@@ -168,6 +169,7 @@ fn expired_deadline_reports_structured_timeout_instead_of_hanging() {
         workers: 1,
         queue_capacity: 16,
         backpressure: Backpressure::Block,
+        ..ServiceConfig::default()
     });
     let chip = Chip::min_viable(CodeModel::DoubleDefect, 10, 3).unwrap();
     let blocker = service
@@ -198,6 +200,7 @@ fn reject_backpressure_returns_the_request_for_retry() {
         workers: 1,
         queue_capacity: 1,
         backpressure: Backpressure::Reject,
+        ..ServiceConfig::default()
     });
     let chip = Chip::min_viable(CodeModel::LatticeSurgery, 9, 3).unwrap();
     let gated_request = || {
@@ -245,6 +248,7 @@ fn panics_are_contained_and_the_worker_survives() {
         workers: 1,
         queue_capacity: 4,
         backpressure: Backpressure::Block,
+        ..ServiceConfig::default()
     });
     let chip = Chip::min_viable(CodeModel::LatticeSurgery, 9, 3).unwrap();
     let bombed = service
@@ -293,6 +297,7 @@ fn job_status_progresses_to_finished() {
         workers: 1,
         queue_capacity: 4,
         backpressure: Backpressure::Block,
+        ..ServiceConfig::default()
     });
     let chip = Chip::min_viable(CodeModel::LatticeSurgery, 9, 3).unwrap();
     let first = service

@@ -53,6 +53,7 @@ use ecmas::mapping::snake_mapping;
 use ecmas::session::{
     Algorithm, BandwidthDecision, CacheInfo, CompileReport, RouterStats, StageTimings,
 };
+use ecmas::ResourceEstimate;
 use ecmas::{CompileOutcome, Compiler};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::Circuit;
@@ -62,14 +63,26 @@ use ecmas_circuit::Circuit;
 /// adjust decision is [`BandwidthDecision::Disabled`]; the router counters
 /// and stage timings are real. `capacity` is the *target* chip's
 /// communication capacity (not the internal clamped/dense view's), so
-/// reports stay comparable across compilers on the same hardware.
+/// reports stay comparable across compilers on the same hardware — and
+/// the [`ResourceEstimate`] is likewise computed against the target
+/// chip, so per-job footprints are comparable too.
 fn baseline_outcome(
+    circuit: &Circuit,
+    chip: &Chip,
     encoded: EncodedCircuit,
     stats: RouterStats,
     capacity: usize,
     map_time: std::time::Duration,
     schedule_time: std::time::Duration,
 ) -> CompileOutcome {
+    let resources = ResourceEstimate::compute(
+        chip,
+        circuit.qubits(),
+        circuit.cnot_count(),
+        0,
+        encoded.cycles(),
+        &stats,
+    );
     let report = CompileReport {
         algorithm: Algorithm::Limited,
         timings: StageTimings {
@@ -86,6 +99,7 @@ fn baseline_outcome(
         events: encoded.events().len(),
         cut_modifications: encoded.modification_count(),
         cache: CacheInfo::disabled(),
+        resources,
     };
     CompileOutcome { encoded, report }
 }
@@ -152,7 +166,15 @@ impl Compiler for AutoBraid {
             ScheduleConfig { order: GateOrder::Priority, cut_policy: CutPolicy::NeverModify },
         )?;
         let capacity = chip.communication_capacity();
-        Ok(baseline_outcome(encoded, stats, capacity, map_time, t_schedule.elapsed()))
+        Ok(baseline_outcome(
+            circuit,
+            chip,
+            encoded,
+            stats,
+            capacity,
+            map_time,
+            t_schedule.elapsed(),
+        ))
     }
 }
 
@@ -236,7 +258,15 @@ impl Compiler for Edpci {
             ScheduleConfig { order: GateOrder::Priority, cut_policy: CutPolicy::NeverModify },
         )?;
         let capacity = chip.communication_capacity();
-        Ok(baseline_outcome(encoded, stats, capacity, map_time, t_schedule.elapsed()))
+        Ok(baseline_outcome(
+            circuit,
+            chip,
+            encoded,
+            stats,
+            capacity,
+            map_time,
+            t_schedule.elapsed(),
+        ))
     }
 }
 

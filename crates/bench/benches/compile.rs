@@ -133,6 +133,7 @@ fn bench_service_stress(c: &mut Criterion) {
         max_depth: 160,
         mean_burst: 8,
         dup_percent: 0,
+        defect_percent: 0,
         seed: 7,
     };
     let circuits: Vec<_> =
@@ -167,6 +168,7 @@ fn bench_service_stress_dup(c: &mut Criterion) {
         max_depth: 120,
         mean_burst: 8,
         dup_percent: 90,
+        defect_percent: 0,
         seed: 21,
     };
     let workload = StressWorkload::new(&spec);
@@ -226,6 +228,21 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// The defective-chip worst case: congested qft_n50 with 10% of the
+/// tile array dead (seeded mask). Placement has to skip dead tiles and
+/// the router detours around dead channel cells, so this row prices the
+/// whole defect-aware path against the uniform `router/qft_n50_congested`
+/// and pin workloads.
+fn bench_defective_compile(c: &mut Criterion) {
+    let circuit = benchmarks::qft_n50();
+    let mut chip = Chip::congested(CodeModel::LatticeSurgery, circuit.qubits(), 3).unwrap();
+    let slots = chip.tile_rows() * chip.tile_cols();
+    chip.seed_defects(slots / 10, 0xD5EED);
+    c.bench_function("compile/qft_n50_defect10", |b| {
+        b.iter(|| Ecmas::default().compile_auto(&circuit, &chip).unwrap().report.cycles);
+    });
+}
+
 /// Fig. 12 bottom panel: compile time as the chip grows (bandwidth 1..5).
 fn bench_chip_size_scaling(c: &mut Criterion) {
     let circuit = random::layered(49, 50, 11, 0xF16);
@@ -247,6 +264,7 @@ criterion_group!(
     bench_router,
     bench_congested_router,
     bench_end_to_end,
+    bench_defective_compile,
     bench_chip_size_scaling,
     bench_service_stress,
     bench_service_stress_dup

@@ -31,12 +31,29 @@ impl CodeModel {
 }
 
 /// A surface-code chip: an `R × C` array of logical tile slots separated
-/// and bordered by channels with per-channel integer bandwidth.
+/// and bordered by channels with per-channel integer bandwidth, plus a
+/// capability description of what actually works on the physical device.
 ///
 /// There are `R + 1` horizontal channels (running between/outside tile
 /// rows) and `C + 1` vertical channels. Channel bandwidths are the number
 /// of parallel CNOT paths the channel can carry side by side; the *chip
-/// bandwidth* is the minimum over all channels (paper §III-A).
+/// bandwidth* is the minimum over all **open** channels (paper §III-A).
+///
+/// Two capability dimensions extend the paper's uniform lattice:
+///
+/// * **Defective tiles** — a defect mask marks tile slots that must never
+///   host a logical qubit or carry a path ([`add_defect`],
+///   [`is_dead`], [`live_tiles`]). A chip with an all-false mask is
+///   indistinguishable (`==`, routing, scheduling, cache keys) from the
+///   equivalent uniform chip.
+/// * **Disabled channels** — bandwidth 0 marks a channel as disabled: it
+///   contributes no routing lanes and is excluded from [`bandwidth`].
+///   Disabling the last open channel of an orientation is rejected.
+///
+/// [`add_defect`]: Self::add_defect
+/// [`is_dead`]: Self::is_dead
+/// [`live_tiles`]: Self::live_tiles
+/// [`bandwidth`]: Self::bandwidth
 ///
 /// # Example
 ///
@@ -58,6 +75,10 @@ pub struct Chip {
     h_bandwidth: Vec<u32>,
     v_bandwidth: Vec<u32>,
     code_distance: u32,
+    /// Defect mask, one flag per tile slot (`true` = dead). All-false for
+    /// every chip built by the uniform constructors, so `PartialEq` keeps
+    /// treating a masked-but-defect-free chip as the uniform chip.
+    defects: Vec<bool>,
 }
 
 impl Chip {
@@ -80,6 +101,9 @@ impl Chip {
         if code_distance == 0 {
             return Err(ChipError::ZeroCodeDistance);
         }
+        if bandwidth == 0 {
+            return Err(ChipError::AllChannelsDisabled { horizontal: true });
+        }
         Ok(Chip {
             model,
             tile_rows: rows,
@@ -87,6 +111,7 @@ impl Chip {
             h_bandwidth: vec![bandwidth; rows + 1],
             v_bandwidth: vec![bandwidth; cols + 1],
             code_distance,
+            defects: vec![false; rows * cols],
         })
     }
 
@@ -192,10 +217,106 @@ impl Chip {
         self.tile_cols
     }
 
-    /// Number of tile slots `R·C`.
+    /// Number of tile slots `R·C`, dead or alive.
     #[must_use]
     pub fn tile_slots(&self) -> usize {
         self.tile_rows * self.tile_cols
+    }
+
+    /// Marks the tile at `(row, col)` as defective: it can never host a
+    /// logical qubit and no CNOT path may pass through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::DefectOutOfRange`] if the coordinate falls
+    /// outside the tile array.
+    pub fn add_defect(&mut self, row: usize, col: usize) -> Result<(), ChipError> {
+        self.set_defect(row, col, true)
+    }
+
+    /// Clears a defect flag set by [`add_defect`](Self::add_defect).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::DefectOutOfRange`] if the coordinate falls
+    /// outside the tile array.
+    pub fn clear_defect(&mut self, row: usize, col: usize) -> Result<(), ChipError> {
+        self.set_defect(row, col, false)
+    }
+
+    fn set_defect(&mut self, row: usize, col: usize, dead: bool) -> Result<(), ChipError> {
+        if row >= self.tile_rows || col >= self.tile_cols {
+            return Err(ChipError::DefectOutOfRange {
+                row,
+                col,
+                rows: self.tile_rows,
+                cols: self.tile_cols,
+            });
+        }
+        self.defects[row * self.tile_cols + col] = dead;
+        Ok(())
+    }
+
+    /// Builder form of [`add_defect`](Self::add_defect): marks every
+    /// listed `(row, col)` as defective and returns the chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::DefectOutOfRange`] on the first coordinate
+    /// outside the tile array.
+    pub fn with_defects(mut self, defects: &[(usize, usize)]) -> Result<Self, ChipError> {
+        for &(row, col) in defects {
+            self.add_defect(row, col)?;
+        }
+        Ok(self)
+    }
+
+    /// Marks `count` distinct live tiles as defective, chosen by a
+    /// deterministic seeded shuffle (a platform-stable splitmix64 stream,
+    /// so the same `(chip, count, seed)` always yields the same mask).
+    /// Marks every tile if `count` exceeds the live-tile count.
+    pub fn seed_defects(&mut self, count: usize, seed: u64) {
+        let mut live: Vec<usize> = (0..self.tile_slots()).filter(|&s| !self.defects[s]).collect();
+        let count = count.min(live.len());
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        for i in 0..count {
+            // Partial Fisher-Yates driven by splitmix64.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let j = i + (z % (live.len() - i) as u64) as usize;
+            live.swap(i, j);
+            self.defects[live[i]] = true;
+        }
+    }
+
+    /// `true` if tile slot `slot` (`r · C + c`) is defective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn is_dead(&self, slot: usize) -> bool {
+        self.defects[slot]
+    }
+
+    /// Number of defective tile slots.
+    #[must_use]
+    pub fn defect_count(&self) -> usize {
+        self.defects.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of usable tile slots — the chip's logical-qubit capacity.
+    #[must_use]
+    pub fn live_tiles(&self) -> usize {
+        self.tile_slots() - self.defect_count()
+    }
+
+    /// The defective slot indices, ascending.
+    pub fn defect_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.defects.iter().enumerate().filter(|(_, &d)| d).map(|(s, _)| s)
     }
 
     /// Code distance `d`.
@@ -236,43 +357,59 @@ impl Chip {
         &self.v_bandwidth
     }
 
-    /// Sets the bandwidth of horizontal channel `i`.
+    /// Sets the bandwidth of horizontal channel `i`. Bandwidth 0 marks the
+    /// channel as **disabled**: it contributes no lanes to the routing
+    /// grid and is excluded from [`bandwidth`](Self::bandwidth).
     ///
     /// # Errors
     ///
-    /// Returns an error if `i > R`.
+    /// Returns [`ChipError::ChannelOutOfRange`] if `i > R`, or
+    /// [`ChipError::AllChannelsDisabled`] if `bandwidth == 0` would leave
+    /// every horizontal channel disabled (an unroutable chip).
     pub fn set_h_bandwidth(&mut self, i: usize, bandwidth: u32) -> Result<(), ChipError> {
         let channels = self.h_bandwidth.len();
-        *self
-            .h_bandwidth
-            .get_mut(i)
-            .ok_or(ChipError::ChannelOutOfRange { index: i, channels })? = bandwidth;
+        if i >= channels {
+            return Err(ChipError::ChannelOutOfRange { index: i, channels });
+        }
+        if bandwidth == 0 && self.h_bandwidth.iter().enumerate().all(|(k, &b)| k == i || b == 0) {
+            return Err(ChipError::AllChannelsDisabled { horizontal: true });
+        }
+        self.h_bandwidth[i] = bandwidth;
         Ok(())
     }
 
-    /// Sets the bandwidth of vertical channel `j`.
+    /// Sets the bandwidth of vertical channel `j`. Bandwidth 0 marks the
+    /// channel as **disabled** (see [`set_h_bandwidth`](Self::set_h_bandwidth)).
     ///
     /// # Errors
     ///
-    /// Returns an error if `j > C`.
+    /// Returns [`ChipError::ChannelOutOfRange`] if `j > C`, or
+    /// [`ChipError::AllChannelsDisabled`] if `bandwidth == 0` would leave
+    /// every vertical channel disabled.
     pub fn set_v_bandwidth(&mut self, j: usize, bandwidth: u32) -> Result<(), ChipError> {
         let channels = self.v_bandwidth.len();
-        *self
-            .v_bandwidth
-            .get_mut(j)
-            .ok_or(ChipError::ChannelOutOfRange { index: j, channels })? = bandwidth;
+        if j >= channels {
+            return Err(ChipError::ChannelOutOfRange { index: j, channels });
+        }
+        if bandwidth == 0 && self.v_bandwidth.iter().enumerate().all(|(k, &b)| k == j || b == 0) {
+            return Err(ChipError::AllChannelsDisabled { horizontal: false });
+        }
+        self.v_bandwidth[j] = bandwidth;
         Ok(())
     }
 
-    /// The chip's bandwidth: the minimum over all channels (paper §III-A).
+    /// The chip's bandwidth: the minimum over all **open** channels
+    /// (paper §III-A). Disabled (bandwidth-0) channels are excluded —
+    /// on chips without disabled channels this is the plain minimum.
     #[must_use]
     pub fn bandwidth(&self) -> u32 {
         self.h_bandwidth
             .iter()
             .chain(&self.v_bandwidth)
             .copied()
+            .filter(|&b| b > 0)
             .min()
-            .expect("chips always have channels")
+            .expect("at least one channel per orientation stays open")
     }
 
     /// Chip Communication Capacity `C = ⌊(b−1)/2⌋ + 3` (Theorem 2): the
@@ -284,7 +421,8 @@ impl Chip {
     }
 
     /// Builds the routing grid (one blocked cell per tile slot, `b` free
-    /// lanes per channel).
+    /// lanes per channel; defective tiles become permanently dead cells,
+    /// disabled channels contribute no lanes).
     #[must_use]
     pub fn grid(&self) -> RoutingGrid {
         RoutingGrid::new(self)
@@ -439,6 +577,87 @@ mod tests {
         let mut chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 1, 3).unwrap();
         assert!(chip.set_h_bandwidth(3, 1).is_err());
         assert!(chip.set_h_bandwidth(2, 4).is_ok());
+    }
+
+    #[test]
+    fn defect_mask_tracks_live_capacity() {
+        let mut chip = Chip::uniform(CodeModel::DoubleDefect, 3, 4, 1, 3).unwrap();
+        assert_eq!(chip.live_tiles(), 12);
+        assert_eq!(chip.defect_count(), 0);
+        chip.add_defect(1, 2).unwrap();
+        chip.add_defect(2, 3).unwrap();
+        assert!(chip.is_dead(6) && chip.is_dead(11)); // slots (1,2) and (2,3)
+        assert_eq!(chip.live_tiles(), 10);
+        assert_eq!(chip.defect_slots().collect::<Vec<_>>(), vec![6, 11]);
+        chip.clear_defect(1, 2).unwrap();
+        assert_eq!(chip.defect_count(), 1);
+        assert_eq!(
+            chip.add_defect(3, 0),
+            Err(ChipError::DefectOutOfRange { row: 3, col: 0, rows: 3, cols: 4 })
+        );
+        assert_eq!(
+            chip.add_defect(0, 4),
+            Err(ChipError::DefectOutOfRange { row: 0, col: 4, rows: 3, cols: 4 })
+        );
+    }
+
+    #[test]
+    fn with_defects_builder_matches_add_defect() {
+        let built = Chip::uniform(CodeModel::LatticeSurgery, 3, 3, 1, 3)
+            .unwrap()
+            .with_defects(&[(0, 1), (2, 2)])
+            .unwrap();
+        let mut manual = Chip::uniform(CodeModel::LatticeSurgery, 3, 3, 1, 3).unwrap();
+        manual.add_defect(0, 1).unwrap();
+        manual.add_defect(2, 2).unwrap();
+        assert_eq!(built, manual);
+        // An all-false mask is the uniform chip, under PartialEq too.
+        let masked = Chip::uniform(CodeModel::LatticeSurgery, 3, 3, 1, 3)
+            .unwrap()
+            .with_defects(&[])
+            .unwrap();
+        assert_eq!(masked, Chip::uniform(CodeModel::LatticeSurgery, 3, 3, 1, 3).unwrap());
+    }
+
+    #[test]
+    fn seed_defects_is_deterministic_and_distinct() {
+        let mut a = Chip::uniform(CodeModel::DoubleDefect, 6, 6, 1, 3).unwrap();
+        let mut b = a.clone();
+        a.seed_defects(7, 42);
+        b.seed_defects(7, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.defect_count(), 7);
+        let mut c = Chip::uniform(CodeModel::DoubleDefect, 6, 6, 1, 3).unwrap();
+        c.seed_defects(100, 1); // more than the slot count: kills everything
+        assert_eq!(c.live_tiles(), 0);
+    }
+
+    #[test]
+    fn bandwidth_zero_is_an_explicit_disabled_channel() {
+        let mut chip = Chip::uniform(CodeModel::DoubleDefect, 2, 2, 2, 3).unwrap();
+        chip.set_h_bandwidth(1, 0).unwrap();
+        assert_eq!(chip.h_bandwidth(1), 0);
+        // The disabled channel no longer drags the chip bandwidth to 0.
+        assert_eq!(chip.bandwidth(), 2);
+        chip.set_h_bandwidth(0, 0).unwrap();
+        // Disabling the last open horizontal channel is rejected.
+        assert_eq!(
+            chip.set_h_bandwidth(2, 0),
+            Err(ChipError::AllChannelsDisabled { horizontal: true })
+        );
+        assert_eq!(chip.h_bandwidth(2), 2, "rejected write must not stick");
+        // Same story for vertical channels.
+        let mut chip = Chip::uniform(CodeModel::DoubleDefect, 1, 1, 1, 3).unwrap();
+        chip.set_v_bandwidth(0, 0).unwrap();
+        assert_eq!(
+            chip.set_v_bandwidth(1, 0),
+            Err(ChipError::AllChannelsDisabled { horizontal: false })
+        );
+        // And a uniform bandwidth-0 chip cannot be built at all.
+        assert_eq!(
+            Chip::uniform(CodeModel::DoubleDefect, 2, 2, 0, 3),
+            Err(ChipError::AllChannelsDisabled { horizontal: true })
+        );
     }
 
     #[test]

@@ -25,6 +25,23 @@ pub enum ChipError {
     },
     /// The code distance must be positive.
     ZeroCodeDistance,
+    /// A defect coordinate fell outside the tile array.
+    DefectOutOfRange {
+        /// The offending tile row.
+        row: usize,
+        /// The offending tile column.
+        col: usize,
+        /// Tile-array rows.
+        rows: usize,
+        /// Tile-array columns.
+        cols: usize,
+    },
+    /// Disabling a channel would leave its orientation with no open
+    /// channel, making the chip unroutable.
+    AllChannelsDisabled {
+        /// `true` for horizontal channels, `false` for vertical ones.
+        horizontal: bool,
+    },
 }
 
 impl fmt::Display for ChipError {
@@ -40,6 +57,13 @@ impl fmt::Display for ChipError {
                 write!(f, "channel index {index} out of range (have {channels})")
             }
             ChipError::ZeroCodeDistance => write!(f, "code distance must be positive"),
+            ChipError::DefectOutOfRange { row, col, rows, cols } => {
+                write!(f, "defect ({row},{col}) outside the {rows}x{cols} tile array")
+            }
+            ChipError::AllChannelsDisabled { horizontal } => {
+                let orientation = if horizontal { "horizontal" } else { "vertical" };
+                write!(f, "at least one {orientation} channel must stay open (bandwidth >= 1)")
+            }
         }
     }
 }

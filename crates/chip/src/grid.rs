@@ -38,6 +38,7 @@ pub struct RoutingGrid {
     rows: usize,
     cols: usize,
     cells: Vec<Cell>,
+    dead: Vec<bool>,
     tile_cells: Vec<usize>,
     h_channel: Vec<Option<usize>>,
     v_channel: Vec<Option<usize>>,
@@ -83,16 +84,19 @@ impl RoutingGrid {
         debug_assert_eq!(v_channel.len(), cols);
 
         let mut cells = vec![Cell::Free; rows * cols];
+        let mut dead = vec![false; rows * cols];
         let mut tile_cells = Vec::with_capacity(tr * tc);
         for (r, &row_pos) in tile_row_pos.iter().enumerate() {
             for (c, &col_pos) in tile_col_pos.iter().enumerate() {
                 let idx = row_pos * cols + col_pos;
-                cells[idx] = Cell::Tile(r * tc + c);
+                let slot = r * tc + c;
+                cells[idx] = Cell::Tile(slot);
+                dead[idx] = chip.is_dead(slot);
                 tile_cells.push(idx);
             }
         }
 
-        RoutingGrid { rows, cols, cells, tile_cells, h_channel, v_channel }
+        RoutingGrid { rows, cols, cells, dead, tile_cells, h_channel, v_channel }
     }
 
     /// Grid height in cells.
@@ -152,6 +156,21 @@ impl RoutingGrid {
         self.cells[idx] == Cell::Free
     }
 
+    /// `true` if `idx` sits on a defective tile: permanently unroutable
+    /// and never a valid path endpoint. Routers seed their blocked set
+    /// from this at construction, so their hot paths stay defect-blind.
+    #[must_use]
+    pub fn is_dead(&self, idx: usize) -> bool {
+        self.dead[idx]
+    }
+
+    /// Number of cells usable as channel space — free cells, since dead
+    /// cells are always tile cells.
+    #[must_use]
+    pub fn free_cells(&self) -> usize {
+        self.cells.iter().filter(|&&c| c == Cell::Free).count()
+    }
+
     /// Cell index of tile slot `slot` (`r · C + c`).
     ///
     /// # Panics
@@ -204,15 +223,17 @@ impl RoutingGrid {
         ra.abs_diff(rb) + ca.abs_diff(cb)
     }
 
-    /// Renders the grid as ASCII art (`.` free, `#` tile), useful in
-    /// examples and debugging.
+    /// Renders the grid as ASCII art (`.` free, `#` tile, `X` dead tile),
+    /// useful in examples and debugging.
     #[must_use]
     pub fn ascii(&self) -> String {
         let mut out = String::with_capacity((self.cols + 1) * self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out.push(match self.cells[self.index(r, c)] {
+                let idx = self.index(r, c);
+                out.push(match self.cells[idx] {
                     Cell::Free => '.',
+                    Cell::Tile(_) if self.dead[idx] => 'X',
                     Cell::Tile(_) => '#',
                 });
             }
@@ -309,6 +330,33 @@ mod tests {
     fn ascii_render_shape() {
         let g = chip(1, 1, 1).grid();
         assert_eq!(g.ascii(), "...\n.#.\n...\n");
+    }
+
+    #[test]
+    fn dead_tiles_mark_dead_cells() {
+        let mut c = chip(2, 2, 1);
+        c.add_defect(0, 1).unwrap();
+        let g = c.grid();
+        assert!(g.is_dead(g.tile_cell(1)));
+        for slot in [0, 2, 3] {
+            assert!(!g.is_dead(g.tile_cell(slot)));
+        }
+        // Channel cells are never dead.
+        assert!((0..g.len()).filter(|&i| g.is_free(i)).all(|i| !g.is_dead(i)));
+        assert_eq!(g.free_cells(), g.len() - 4);
+        assert_eq!(g.ascii(), ".....\n.#.X.\n.....\n.#.#.\n.....\n");
+    }
+
+    #[test]
+    fn disabled_channel_contributes_no_lanes() {
+        let mut c = chip(2, 2, 1);
+        c.set_h_bandwidth(1, 0).unwrap();
+        let g = c.grid();
+        // Rows: [ch0][tile0][tile1][ch2] — the middle channel vanished.
+        assert_eq!(g.rows(), 4);
+        assert_eq!(g.h_channel_of_row(1), None);
+        assert_eq!(g.h_channel_of_row(2), None);
+        assert_eq!(g.h_channel_of_row(3), Some(2));
     }
 
     #[test]

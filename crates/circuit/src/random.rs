@@ -128,6 +128,14 @@ pub struct StressSpec {
     /// traffic repeats a few hot kernels. `0` disables duplication and
     /// leaves the legacy job stream byte-identical.
     pub dup_percent: u8,
+    /// Percentage (0–100) of each job's target-chip tiles that arrive
+    /// defective: every job gets a deterministic per-job defect seed
+    /// ([`StressWorkload::defect_seed`]) and the consumer (the `ecmasd`
+    /// daemon) kills this fraction of tile slots with it. Per-job seeds
+    /// are derived outside the job-generation RNG, so — matching the
+    /// `dup_percent` convention — `0` leaves the legacy job stream
+    /// byte-identical.
+    pub defect_percent: u8,
     /// Workload seed; everything below is deterministic in it.
     pub seed: u64,
 }
@@ -146,6 +154,7 @@ impl StressSpec {
             max_depth: 1500,
             mean_burst: 16,
             dup_percent: 0,
+            defect_percent: 0,
             seed,
         }
     }
@@ -193,6 +202,8 @@ impl StressJob {
 #[derive(Clone, Debug)]
 pub struct StressWorkload {
     jobs: Vec<StressJob>,
+    defect_percent: u8,
+    seed: u64,
 }
 
 impl StressWorkload {
@@ -210,6 +221,7 @@ impl StressWorkload {
         assert!(0 < spec.min_depth && spec.min_depth <= spec.max_depth, "bad depth range");
         assert!(spec.mean_burst > 0, "mean_burst must be positive");
         assert!(spec.dup_percent <= 100, "dup_percent is a percentage");
+        assert!(spec.defect_percent <= 100, "defect_percent is a percentage");
         let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5742_E550);
         let mut jobs = Vec::with_capacity(spec.jobs);
         while jobs.len() < spec.jobs {
@@ -233,7 +245,34 @@ impl StressWorkload {
             }
         }
         apply_duplication(&mut jobs, spec.dup_percent, &mut rng);
-        StressWorkload { jobs }
+        StressWorkload { jobs, defect_percent: spec.defect_percent, seed: spec.seed }
+    }
+
+    /// The spec's chip defect rate (0–100), for the consumer to apply to
+    /// each job's target chip.
+    #[must_use]
+    pub fn defect_percent(&self) -> u8 {
+        self.defect_percent
+    }
+
+    /// Deterministic per-job defect seed: splitmix64 of the workload
+    /// seed and the job index. Derived outside the job-generation RNG,
+    /// so enabling or disabling defects never perturbs the job stream —
+    /// and repeats of a hot job (duplication) still get *their own*
+    /// defect seed, the way the same circuit resubmitted to a fleet
+    /// lands on whatever hardware is in front of it.
+    ///
+    /// Bounded to 53 bits so the value survives JSON layers that carry
+    /// numbers as `f64` (the `ecmasd` protocol) without rounding.
+    #[must_use]
+    pub fn defect_seed(&self, index: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & ((1 << 53) - 1)
     }
 
     /// The precomputed job parameters, in arrival order.
@@ -428,6 +467,34 @@ mod tests {
         for job in w.jobs() {
             assert!((spec.min_qubits..=spec.max_qubits).contains(&job.qubits));
         }
+    }
+
+    #[test]
+    fn defect_knob_never_perturbs_the_job_stream() {
+        let base = StressSpec::new(64, 24, 5);
+        let with = StressSpec { defect_percent: 10, ..base };
+        let a = StressWorkload::new(&base);
+        let b = StressWorkload::new(&with);
+        assert_eq!(a.jobs(), b.jobs(), "defect seeds live outside the job RNG");
+        assert_eq!(a.defect_percent(), 0);
+        assert_eq!(b.defect_percent(), 10);
+        // Per-job defect seeds: deterministic, index-distinct, and
+        // identical whether or not defects are enabled.
+        assert_eq!(a.defect_seed(3), b.defect_seed(3));
+        assert_ne!(b.defect_seed(3), b.defect_seed(4));
+        let distinct: std::collections::HashSet<_> =
+            (0..b.len()).map(|i| b.defect_seed(i)).collect();
+        assert_eq!(distinct.len(), b.len());
+        // A different workload seed moves the defect seeds too.
+        let other = StressWorkload::new(&StressSpec { seed: 6, ..with });
+        assert_ne!(b.defect_seed(0), other.defect_seed(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "defect_percent is a percentage")]
+    fn stress_rejects_defect_rate_over_100() {
+        let _ =
+            StressWorkload::new(&StressSpec { defect_percent: 101, ..StressSpec::new(4, 10, 0) });
     }
 
     #[test]

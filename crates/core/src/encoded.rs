@@ -207,7 +207,7 @@ pub enum ValidateError {
         gate: GateId,
     },
     /// A path is structurally invalid (non-adjacent steps, wrong endpoints,
-    /// or an interior cell on a mapped tile).
+    /// an interior cell on a mapped tile, or any cell on a defective tile).
     MalformedPath {
         /// The offending gate.
         gate: GateId,
@@ -219,7 +219,7 @@ pub enum ValidateError {
     },
     /// The event kind does not match the chip's code model.
     WrongModel,
-    /// Mapping is malformed (slot out of range or reused).
+    /// Mapping is malformed (slot out of range, reused, or defective).
     BadMapping,
 }
 
@@ -243,7 +243,9 @@ impl fmt::Display for ValidateError {
                 write!(f, "two paths conflict at cycle {cycle}")
             }
             ValidateError::WrongModel => write!(f, "event kind does not match the code model"),
-            ValidateError::BadMapping => write!(f, "mapping reuses or overflows tile slots"),
+            ValidateError::BadMapping => {
+                write!(f, "mapping reuses, overflows, or lands on defective tile slots")
+            }
         }
     }
 }
@@ -277,7 +279,7 @@ pub fn validate_encoded(circuit: &Circuit, enc: &EncodedCircuit) -> Result<(), V
     }
     let mut used = vec![false; chip.tile_slots()];
     for &slot in enc.mapping() {
-        if slot >= used.len() || used[slot] {
+        if slot >= used.len() || used[slot] || chip.is_dead(slot) {
             return Err(ValidateError::BadMapping);
         }
         used[slot] = true;
@@ -414,6 +416,10 @@ pub fn validate_encoded(circuit: &Circuit, enc: &EncodedCircuit) -> Result<(), V
             if grid.manhattan(w[0], w[1]) != 1 {
                 return Err(ValidateError::MalformedPath { gate: g });
             }
+        }
+        // No step of any path may touch a defective tile's cell.
+        if cells.iter().any(|&c| grid.is_dead(c)) {
+            return Err(ValidateError::MalformedPath { gate: g });
         }
         for &c in path.interior() {
             if mapped_cells.contains(&c) {

@@ -36,6 +36,14 @@ pub enum CompileError {
     },
     /// An underlying chip construction failed.
     Chip(ChipError),
+    /// Every candidate chip in a fleet was rejected: none had the live
+    /// capacity for the circuit, or every one that fit failed to compile.
+    FleetExhausted {
+        /// Candidate chips considered.
+        candidates: usize,
+        /// Logical qubits in the circuit.
+        qubits: usize,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -54,6 +62,13 @@ impl fmt::Display for CompileError {
                 write!(f, "injected mapping is unusable: {reason}")
             }
             CompileError::Chip(e) => write!(f, "chip error: {e}"),
+            CompileError::FleetExhausted { candidates, qubits } => {
+                write!(
+                    f,
+                    "no chip in a fleet of {candidates} candidates could \
+                     compile the {qubits}-qubit circuit"
+                )
+            }
         }
     }
 }

@@ -67,18 +67,20 @@ pub mod error;
 pub mod hardness;
 pub mod mapping;
 pub mod profile;
+pub mod resources;
 pub mod resu;
 pub mod session;
 pub mod stable;
 pub mod viz;
 
-pub use compiler::{Ecmas, EcmasConfig};
+pub use compiler::{ChipFleet, Ecmas, EcmasConfig, FleetSelection};
 pub use cut::{CutInitStrategy, CutType};
 pub use encoded::{validate_encoded, EncodedCircuit, Event, EventKind, ValidateError};
 pub use engine::{schedule_limited, CutPolicy, GateOrder, ScheduleConfig};
 pub use error::CompileError;
 pub use mapping::LocationStrategy;
 pub use profile::{para_finding, ExecutionScheme};
+pub use resources::{ResourceEstimate, StageCost};
 pub use resu::schedule_sufficient;
 pub use session::{
     Algorithm, CacheInfo, CacheSource, CompileOutcome, CompileReport, Compiler, MapArtifact,

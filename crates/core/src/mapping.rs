@@ -13,7 +13,7 @@
 
 use ecmas_chip::Chip;
 use ecmas_circuit::CommGraph;
-use ecmas_partition::{place_opts, WeightedGraph};
+use ecmas_partition::{place_masked, WeightedGraph};
 
 use crate::error::CompileError;
 
@@ -41,9 +41,18 @@ pub enum LocationStrategy {
     Trivial,
 }
 
+/// Shape-search ranking key: lexicographic (primary, secondary, tiebreak).
+type ShapeKey = (usize, usize, usize);
+
 /// Picks the minimum-perimeter `a × b` sub-array with `a·b ≥ n` that fits
 /// the chip (ties: smaller area, then fewer rows), and returns it with its
 /// centered offset — the paper's *shape determining* step.
+///
+/// On a chip with defective tiles the region must hold `n` *live* slots:
+/// each candidate shape may grow its width past `⌈n/a⌉` and slide off
+/// center to clear the defects (the offset nearest the centered one
+/// wins). Defect-free chips take the paper's exact search, so the chosen
+/// region — and everything downstream — is bit-identical.
 ///
 /// # Errors
 ///
@@ -51,24 +60,69 @@ pub enum LocationStrategy {
 /// small.
 pub fn determine_shape(chip: &Chip, n: usize) -> Result<SubArray, CompileError> {
     let (rows, cols) = (chip.tile_rows(), chip.tile_cols());
-    if n > rows * cols {
-        return Err(CompileError::TooManyQubits { qubits: n, slots: rows * cols });
+    if n > chip.live_tiles() {
+        return Err(CompileError::TooManyQubits { qubits: n, slots: chip.live_tiles() });
     }
-    let mut best: Option<(usize, usize, usize)> = None; // (perimeter, area, rows)
-    let mut shape = (rows, cols);
+    if chip.defect_count() == 0 {
+        let mut best: Option<(usize, usize, usize)> = None; // (perimeter, area, rows)
+        let mut shape = (rows, cols);
+        for a in 1..=rows {
+            let b = n.div_ceil(a);
+            if b > cols {
+                continue;
+            }
+            let key = (2 * (a + b), a * b, a);
+            if best.is_none_or(|k| key < k) {
+                best = Some(key);
+                shape = (a, b);
+            }
+        }
+        let (a, b) = shape;
+        return Ok(SubArray {
+            rows: a,
+            cols: b,
+            row_offset: (rows - a) / 2,
+            col_offset: (cols - b) / 2,
+        });
+    }
+
+    // Defect-aware search: for each height `a`, the narrowest width `b`
+    // for which *some* placement of the window contains `n` live slots;
+    // among window positions the one closest to the centered offset wins
+    // (then top-most, then left-most), so a mask with conveniently-placed
+    // defects still yields a near-centered region.
+    let live_at = |r0: usize, c0: usize, a: usize, b: usize| -> usize {
+        (r0..r0 + a).map(|r| (c0..c0 + b).filter(|&c| !chip.is_dead(r * cols + c)).count()).sum()
+    };
+    let mut best: Option<(ShapeKey, SubArray)> = None;
     for a in 1..=rows {
-        let b = n.div_ceil(a);
-        if b > cols {
-            continue;
-        }
-        let key = (2 * (a + b), a * b, a);
-        if best.is_none_or(|k| key < k) {
-            best = Some(key);
-            shape = (a, b);
+        for b in n.div_ceil(a)..=cols {
+            let centered = ((rows - a) / 2, (cols - b) / 2);
+            let mut chosen: Option<(ShapeKey, (usize, usize))> = None;
+            for ro in 0..=(rows - a) {
+                for co in 0..=(cols - b) {
+                    if live_at(ro, co, a, b) < n {
+                        continue;
+                    }
+                    let key = (ro.abs_diff(centered.0) + co.abs_diff(centered.1), ro, co);
+                    if chosen.is_none_or(|(k, _)| key < k) {
+                        chosen = Some((key, (ro, co)));
+                    }
+                }
+            }
+            if let Some((_, (ro, co))) = chosen {
+                let key = (2 * (a + b), a * b, a);
+                if best.as_ref().is_none_or(|&(k, _)| key < k) {
+                    best =
+                        Some((key, SubArray { rows: a, cols: b, row_offset: ro, col_offset: co }));
+                }
+                break; // wider windows for this height only cost perimeter
+            }
         }
     }
-    let (a, b) = shape;
-    Ok(SubArray { rows: a, cols: b, row_offset: (rows - a) / 2, col_offset: (cols - b) / 2 })
+    // The full array qualifies (live_tiles >= n), so a region always exists.
+    best.map(|(_, region)| region)
+        .ok_or(CompileError::TooManyQubits { qubits: n, slots: chip.live_tiles() })
 }
 
 /// A rectangular region of tile slots within the chip array.
@@ -105,22 +159,30 @@ pub fn initial_mapping(
 ) -> Result<Vec<usize>, CompileError> {
     let n = comm.qubits();
     let (rows, cols) = (chip.tile_rows(), chip.tile_cols());
-    if n > rows * cols {
-        return Err(CompileError::TooManyQubits { qubits: n, slots: rows * cols });
+    if n > chip.live_tiles() {
+        return Err(CompileError::TooManyQubits { qubits: n, slots: chip.live_tiles() });
     }
     let graph =
         WeightedGraph::from_edges(n, comm.edges().iter().map(|e| (e.a, e.b, u64::from(e.weight))));
     let mapping = match strategy {
         LocationStrategy::Ecmas { restarts, seed } => {
             let region = determine_shape(chip, n)?;
-            let placement = place_opts(&graph, region.rows, region.cols, restarts, seed, true);
+            // Region-local defect mask: all-false on a defect-free chip,
+            // in which case `place_masked` is `place_opts` bit for bit.
+            let forbidden: Vec<bool> = (0..region.rows * region.cols)
+                .map(|local| chip.is_dead(region.to_chip_slot(local, chip)))
+                .collect();
+            let placement =
+                place_masked(&graph, region.rows, region.cols, restarts, seed, true, &forbidden);
             placement.slot_of().iter().map(|&local| region.to_chip_slot(local, chip)).collect()
         }
         LocationStrategy::Partitioner { seed } => {
-            let placement = place_opts(&graph, rows, cols, 1, seed, false);
+            let forbidden: Vec<bool> = (0..rows * cols).map(|s| chip.is_dead(s)).collect();
+            let placement = place_masked(&graph, rows, cols, 1, seed, false, &forbidden);
             placement.slot_of().to_vec()
         }
-        LocationStrategy::Trivial => snake_mapping(n, rows, cols),
+        LocationStrategy::Trivial if chip.defect_count() == 0 => snake_mapping(n, rows, cols),
+        LocationStrategy::Trivial => snake_mapping_live(n, chip),
     };
     Ok(mapping)
 }
@@ -142,6 +204,29 @@ pub fn snake_mapping(n: usize, rows: usize, cols: usize) -> Vec<usize> {
             let c = if r.is_multiple_of(2) { c } else { cols - 1 - c };
             r * cols + c
         })
+        .collect()
+}
+
+/// [`snake_mapping`] on a chip with defective tiles: walks the same snake
+/// order but skips dead slots, so consecutive qubits stay as adjacent as
+/// the defects allow. With no defects this is exactly [`snake_mapping`].
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the chip's live-tile count.
+#[must_use]
+pub fn snake_mapping_live(n: usize, chip: &Chip) -> Vec<usize> {
+    assert!(n <= chip.live_tiles(), "snake mapping does not fit the live tiles");
+    let (rows, cols) = (chip.tile_rows(), chip.tile_cols());
+    (0..rows * cols)
+        .map(|q| {
+            let r = q / cols;
+            let c = q % cols;
+            let c = if r.is_multiple_of(2) { c } else { cols - 1 - c };
+            r * cols + c
+        })
+        .filter(|&slot| !chip.is_dead(slot))
+        .take(n)
         .collect()
 }
 
@@ -208,7 +293,12 @@ fn redistribute(chip: &mut Chip, horizontal: bool, usage: &[u64]) {
     for _ in 0..total {
         // Usage per lane, scaled to integers to avoid float compare.
         let ratio = |i: usize, lanes: &[u32]| -> u64 { usage[i] * 1000 / u64::from(lanes[i]) };
-        let recipient = (0..channels).max_by_key(|&i| ratio(i, &lanes)).expect("channels >= 2");
+        // Disabled (0-lane) channels are physically broken: they can
+        // neither receive lanes nor enter the ratio (division by zero).
+        let recipient = (0..channels)
+            .filter(|&i| lanes[i] > 0)
+            .max_by_key(|&i| ratio(i, &lanes))
+            .expect("at least one channel per orientation stays open");
         let donor = (0..channels)
             .filter(|&i| lanes[i] > 1 && i != recipient)
             .min_by_key(|&i| ratio(i, &lanes));

@@ -60,6 +60,7 @@ use crate::engine::{schedule_limited_shared, ScheduleConfig};
 use crate::error::CompileError;
 use crate::mapping::{adjust_bandwidth, initial_mapping, LocationStrategy};
 use crate::profile::{para_finding, ExecutionScheme};
+use crate::resources::ResourceEstimate;
 use crate::resu::schedule_sufficient_shared;
 
 /// Which scheduling algorithm produced the encoded circuit.
@@ -239,6 +240,9 @@ pub struct CompileReport {
     /// Compile-cache provenance and counters ([`CacheInfo::disabled`]
     /// when no cache fronted this compilation).
     pub cache: CacheInfo,
+    /// The job's space–time and channel-pressure footprint, computed
+    /// deterministically from the schedule and router counters.
+    pub resources: ResourceEstimate,
 }
 
 impl CompileReport {
@@ -256,11 +260,13 @@ impl CompileReport {
                 "\"schedule\":{:.3},\"total\":{:.3}}},",
                 "\"router\":{{\"paths_found\":{},\"conflicts\":{},",
                 "\"cells_expanded\":{},\"pruned_expansions\":{},",
-                "\"path_cells\":{},\"failed_searches\":{},",
+                "\"path_cells\":{},\"peak_cycle_path_cells\":{},",
+                "\"failed_searches\":{},",
                 "\"cache_hits\":{},\"recolor_cells\":{}}},",
                 "\"cache\":{{\"source\":\"{}\",\"hits\":{},\"misses\":{},",
                 "\"stage_hits\":{},\"evictions\":{},\"resident_bytes\":{},",
-                "\"coalesced_waits\":{}}}}}"
+                "\"coalesced_waits\":{}}},",
+                "\"resources\":{}}}"
             ),
             self.algorithm.label(),
             self.cycles,
@@ -279,6 +285,7 @@ impl CompileReport {
             self.router.cells_expanded,
             self.router.pruned_expansions,
             self.router.path_cells,
+            self.router.peak_cycle_path_cells,
             self.router.failed_searches,
             self.router.cache_hits,
             self.router.recolor_cells,
@@ -289,6 +296,7 @@ impl CompileReport {
             self.cache.evictions,
             self.cache.resident_bytes,
             self.cache.coalesced_waits,
+            self.resources.to_json(),
         )
     }
 }
@@ -684,7 +692,8 @@ impl<'c> Mapped<'c> {
     /// # Errors
     ///
     /// Returns [`CompileError::InvalidMapping`] unless `mapping` assigns
-    /// every qubit a distinct in-range tile slot.
+    /// every qubit a distinct in-range *live* tile slot (defective slots
+    /// cannot hold a qubit).
     pub fn with_mapping(mut self, mapping: Vec<usize>) -> Result<Self, CompileError> {
         let n = self.profiled.circuit.qubits();
         let slots = self.profiled.chip.tile_slots();
@@ -698,6 +707,11 @@ impl<'c> Mapped<'c> {
             if slot >= slots {
                 return Err(CompileError::InvalidMapping {
                     reason: format!("tile slot {slot} out of range (chip has {slots})"),
+                });
+            }
+            if self.profiled.chip.is_dead(slot) {
+                return Err(CompileError::InvalidMapping {
+                    reason: format!("tile slot {slot} is defective"),
                 });
             }
             if std::mem::replace(&mut seen[slot], true) {
@@ -840,6 +854,14 @@ impl<'c> Mapped<'c> {
         bandwidth_adjust: BandwidthDecision,
         schedule_time: Duration,
     ) -> Scheduled {
+        let resources = ResourceEstimate::compute(
+            &self.profiled.chip,
+            self.mapping.len(),
+            self.profiled.circuit.cnot_count(),
+            self.placement_restarts,
+            encoded.cycles(),
+            &router,
+        );
         let report = CompileReport {
             algorithm,
             timings: StageTimings {
@@ -856,6 +878,7 @@ impl<'c> Mapped<'c> {
             events: encoded.events().len(),
             cut_modifications: encoded.modification_count(),
             cache: CacheInfo::disabled(),
+            resources,
         };
         Scheduled { outcome: CompileOutcome { encoded, report } }
     }
@@ -888,8 +911,9 @@ impl Scheduled {
 }
 
 fn check_fit(qubits: usize, chip: &Chip) -> Result<(), CompileError> {
-    if qubits > chip.tile_slots() {
-        return Err(CompileError::TooManyQubits { qubits, slots: chip.tile_slots() });
+    // Capacity is the *live* tile count: defective slots hold no qubit.
+    if qubits > chip.live_tiles() {
+        return Err(CompileError::TooManyQubits { qubits, slots: chip.live_tiles() });
     }
     Ok(())
 }

@@ -170,7 +170,10 @@ pub fn write_circuit(h: &mut StableHasher, circuit: &Circuit) {
 }
 
 /// Mixes a chip's full compile-relevant identity: code model, tile-array
-/// shape, code distance, and every per-channel bandwidth.
+/// shape, code distance, every per-channel bandwidth, and the defect
+/// mask (count + ascending dead-slot indices — a defect-free chip mixes
+/// a bare 0, so a masked chip with no defects hashes identically to the
+/// equivalent uniform chip).
 pub fn write_chip(h: &mut StableHasher, chip: &Chip) {
     h.write_str(chip.model().label());
     h.write_usize(chip.tile_rows());
@@ -183,6 +186,10 @@ pub fn write_chip(h: &mut StableHasher, chip: &Chip) {
     h.write_usize(chip.v_bandwidths().len());
     for &b in chip.v_bandwidths() {
         h.write_u32(b);
+    }
+    h.write_usize(chip.defect_count());
+    for slot in chip.defect_slots() {
+        h.write_usize(slot);
     }
 }
 

@@ -97,17 +97,56 @@ pub fn place_opts(
     seed: u64,
     refine_pass: bool,
 ) -> Placement {
+    place_masked(graph, rows, cols, restarts, seed, refine_pass, &vec![false; rows * cols])
+}
+
+/// [`place_opts`] over a tile array with forbidden (defective) slots: no
+/// qubit is ever assigned to a slot whose `forbidden` flag is set, by the
+/// bisection targets (proportional to *live* slot counts), the base-case
+/// drop, and the refinement moves alike.
+///
+/// With an all-false mask every live count equals the geometric slot
+/// count, so this runs the exact `place_opts` arithmetic — same random
+/// stream, same mapping, bit for bit.
+///
+/// # Panics
+///
+/// Panics if `forbidden.len() != rows * cols` or if `graph.len()` exceeds
+/// the number of live slots.
+#[must_use]
+pub fn place_masked(
+    graph: &WeightedGraph,
+    rows: usize,
+    cols: usize,
+    restarts: usize,
+    seed: u64,
+    refine_pass: bool,
+    forbidden: &[bool],
+) -> Placement {
     let n = graph.len();
-    assert!(n <= rows * cols, "{n} qubits do not fit in {rows}×{cols} slots");
+    assert_eq!(forbidden.len(), rows * cols, "defect mask must cover the tile array");
+    let live = forbidden.iter().filter(|&&f| !f).count();
+    assert!(n <= live, "{n} qubits do not fit in {live} live slots of a {rows}×{cols} array");
     let mut best: Option<Placement> = None;
     for r in 0..restarts.max(1) {
         let mut rng =
             SmallRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9));
         let mut slot_of = vec![usize::MAX; n];
         let qubits: Vec<usize> = (0..n).collect();
-        recurse(graph, &qubits, 0, rows, 0, cols, cols, &mut slot_of, &mut rng);
+        recurse(
+            graph,
+            &qubits,
+            0,
+            rows,
+            0,
+            cols,
+            cols,
+            slot_of.as_mut_slice(),
+            forbidden,
+            &mut rng,
+        );
         if refine_pass {
-            refine(graph, rows, cols, &mut slot_of);
+            refine(graph, rows, cols, &mut slot_of, forbidden);
         }
         let cost = total_cost(graph, cols, &slot_of);
         if best.as_ref().is_none_or(|b| cost < b.cost) {
@@ -117,7 +156,8 @@ pub fn place_opts(
     best.expect("at least one restart")
 }
 
-/// Recursively bisects `qubits` into the slot region `[r0,r1)×[c0,c1)`.
+/// Recursively bisects `qubits` into the slot region `[r0,r1)×[c0,c1)`,
+/// sizing the halves by their *live* (non-forbidden) slot counts.
 #[allow(clippy::too_many_arguments)]
 fn recurse(
     graph: &WeightedGraph,
@@ -128,6 +168,7 @@ fn recurse(
     c1: usize,
     cols: usize,
     slot_of: &mut [usize],
+    forbidden: &[bool],
     rng: &mut SmallRng,
 ) {
     if qubits.is_empty() {
@@ -136,24 +177,30 @@ fn recurse(
     let region_rows = r1 - r0;
     let region_cols = c1 - c0;
     if region_rows * region_cols == 1 || qubits.len() == 1 {
-        // Base case: drop remaining qubits into the region row-major. (At
-        // most one qubit remains unless the region is a single slot.)
-        let mut slots = (r0..r1).flat_map(|r| (c0..c1).map(move |c| r * cols + c));
+        // Base case: drop remaining qubits into the region's live slots
+        // row-major. (At most one qubit remains unless the region is a
+        // single slot.)
+        let mut slots =
+            (r0..r1).flat_map(|r| (c0..c1).map(move |c| r * cols + c)).filter(|&s| !forbidden[s]);
         for &q in qubits {
             slot_of[q] = slots.next().expect("region has room");
         }
         return;
     }
 
+    let live_in = |r0: usize, r1: usize, c0: usize, c1: usize| -> usize {
+        (r0..r1).map(|r| (c0..c1).filter(|&c| !forbidden[r * cols + c]).count()).sum()
+    };
+
     // Split the longer dimension.
     let (a_slots, regions) = if region_rows >= region_cols {
         let rm = r0 + region_rows / 2;
-        ((rm - r0) * region_cols, ((r0, rm, c0, c1), (rm, r1, c0, c1)))
+        (live_in(r0, rm, c0, c1), ((r0, rm, c0, c1), (rm, r1, c0, c1)))
     } else {
         let cm = c0 + region_cols / 2;
-        ((cm - c0) * region_rows, ((r0, r1, c0, cm), (r0, r1, cm, c1)))
+        (live_in(r0, r1, c0, cm), ((r0, r1, c0, cm), (r0, r1, cm, c1)))
     };
-    let total_slots = region_rows * region_cols;
+    let total_slots = live_in(r0, r1, c0, c1);
     let b_slots = total_slots - a_slots;
 
     // Target sizes proportional to slot counts, clamped to fit.
@@ -179,8 +226,8 @@ fn recurse(
     let right: Vec<usize> =
         qubits.iter().enumerate().filter(|&(i, _)| side[i]).map(|(_, &q)| q).collect();
     let ((ar0, ar1, ac0, ac1), (br0, br1, bc0, bc1)) = regions;
-    recurse(graph, &left, ar0, ar1, ac0, ac1, cols, slot_of, rng);
-    recurse(graph, &right, br0, br1, bc0, bc1, cols, slot_of, rng);
+    recurse(graph, &left, ar0, ar1, ac0, ac1, cols, slot_of, forbidden, rng);
+    recurse(graph, &right, br0, br1, bc0, bc1, cols, slot_of, forbidden, rng);
 }
 
 /// Best-improvement local search: swap two qubits or move a qubit to a free
@@ -195,7 +242,13 @@ fn recurse(
 /// per candidate, while producing the *same integers* — and therefore the
 /// same move sequence and final mapping — as the naive
 /// `Σ w·(d(to, s_u) − d(from, s_u))` evaluation.
-fn refine(graph: &WeightedGraph, rows: usize, cols: usize, slot_of: &mut [usize]) {
+fn refine(
+    graph: &WeightedGraph,
+    rows: usize,
+    cols: usize,
+    slot_of: &mut [usize],
+    forbidden: &[bool],
+) {
     let n = graph.len();
     let slots = rows * cols;
     let mut occupant: Vec<Option<usize>> = vec![None; slots];
@@ -254,7 +307,7 @@ fn refine(graph: &WeightedGraph, rows: usize, cols: usize, slot_of: &mut [usize]
             let from = slot_of[q];
             let a_from = attraction(q, from);
             for (target, &occ) in occupant.iter().enumerate() {
-                if target == from {
+                if target == from || forbidden[target] {
                     continue;
                 }
                 match occ {
@@ -358,5 +411,46 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let g = WeightedGraph::from_edges(6, (0..5).map(|i| (i, i + 1, 1)));
         assert_eq!(place(&g, 3, 2, 3, 9), place(&g, 3, 2, 3, 9));
+    }
+
+    #[test]
+    fn all_false_mask_is_bit_identical_to_unmasked() {
+        let g = WeightedGraph::from_edges(
+            9,
+            (0..9).flat_map(|a| ((a + 1)..9).map(move |b| (a, b, ((a * b) % 5 + 1) as u64))),
+        );
+        for refine_pass in [false, true] {
+            let unmasked = place_opts(&g, 4, 3, 6, 13, refine_pass);
+            let masked = place_masked(&g, 4, 3, 6, 13, refine_pass, &[false; 12]);
+            assert_eq!(unmasked, masked, "refine={refine_pass}");
+        }
+    }
+
+    #[test]
+    fn forbidden_slots_are_never_assigned() {
+        let g = WeightedGraph::from_edges(
+            10,
+            (0..10).flat_map(|a| ((a + 1)..10).map(move |b| (a, b, ((a + b) % 4 + 1) as u64))),
+        );
+        let mut forbidden = vec![false; 16];
+        for dead in [0, 5, 6, 10, 15] {
+            forbidden[dead] = true;
+        }
+        for seed in 0..8u64 {
+            let p = place_masked(&g, 4, 4, 4, seed, true, &forbidden);
+            let mut seen = std::collections::HashSet::new();
+            for &s in p.slot_of() {
+                assert!(!forbidden[s], "seed {seed}: qubit placed on dead slot {s}");
+                assert!(seen.insert(s), "seed {seed}: slot {s} reused");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn rejects_overfull_live_capacity() {
+        // 4 slots, 1 dead: 4 qubits no longer fit.
+        let g = WeightedGraph::from_edges(4, []);
+        let _ = place_masked(&g, 2, 2, 1, 0, true, &[true, false, false, false]);
     }
 }

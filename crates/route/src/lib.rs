@@ -127,6 +127,11 @@ pub struct RouterStats {
     pub pruned_expansions: u64,
     /// Total cells of every found path (channel occupation proxy).
     pub path_cells: u64,
+    /// Largest per-cycle sum of committed path cells — the channel-space
+    /// high-water mark behind a report's peak utilization figure. Tracked
+    /// at [`Router::commit`] time (probes don't count), so it measures
+    /// what the schedule actually reserved.
+    pub peak_cycle_path_cells: u64,
     /// Searches that proved no route exists — the region-exhaustion
     /// subset of [`conflicts`](Self::conflicts) (an endpoint already
     /// reserved fails before any search and is *not* counted here).
@@ -147,6 +152,8 @@ pub struct RouterStats {
 impl RouterStats {
     /// Component-wise sum — used to combine the stats of several router
     /// instances (e.g. the base and bandwidth-adjusted scheduling runs).
+    /// The per-cycle peak takes the maximum: the runs are alternatives
+    /// over the same chip, not concurrent occupants.
     #[must_use]
     pub fn merged(self, other: RouterStats) -> RouterStats {
         RouterStats {
@@ -155,6 +162,7 @@ impl RouterStats {
             cells_expanded: self.cells_expanded + other.cells_expanded,
             pruned_expansions: self.pruned_expansions + other.pruned_expansions,
             path_cells: self.path_cells + other.path_cells,
+            peak_cycle_path_cells: self.peak_cycle_path_cells.max(other.peak_cycle_path_cells),
             failed_searches: self.failed_searches + other.failed_searches,
             cache_hits: self.cache_hits + other.cache_hits,
             recolor_cells: self.recolor_cells + other.recolor_cells,
@@ -319,6 +327,13 @@ pub struct Router {
     // redundant (checked in debug builds).
     watermark: u64,
     stats: RouterStats,
+    // Per-cycle committed-cell accumulator behind
+    // `RouterStats::peak_cycle_path_cells`: commits arrive in
+    // nondecreasing cycle order (the watermark invariant), so one scalar
+    // pair suffices — flush on cycle advance, fold the in-progress cycle
+    // in at `stats()` time.
+    commit_cycle: u64,
+    commit_cells: u64,
 }
 
 impl Router {
@@ -339,10 +354,14 @@ impl Router {
         // f-score. The outer Vec is allocated once; inner buckets grow on
         // first use and keep their capacity across searches.
         let max_f = n + grid.rows() + grid.cols() + 1;
+        // Dead cells (defective tiles) are blocked from birth: the hot
+        // path already consults `blocked` first in both modes, so defects
+        // cost the router nothing per search.
+        let blocked = (0..n).map(|i| grid.is_dead(i)).collect();
         Router {
             grid,
             mode,
-            blocked: vec![false; n],
+            blocked,
             node_free_at: vec![0; n],
             edge_free_at: vec![0; 2 * n],
             visit_epoch: vec![0; n],
@@ -357,19 +376,25 @@ impl Router {
             order_scratch: Vec::new(),
             watermark: 0,
             stats: RouterStats::default(),
+            commit_cycle: 0,
+            commit_cells: 0,
         }
     }
 
     /// The cumulative routing counters since construction or the last
-    /// [`reset_stats`](Self::reset_stats).
+    /// [`reset_stats`](Self::reset_stats), with the in-progress cycle's
+    /// committed cells folded into the per-cycle peak.
     #[must_use]
     pub fn stats(&self) -> RouterStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.peak_cycle_path_cells = stats.peak_cycle_path_cells.max(self.commit_cells);
+        stats
     }
 
     /// Zeroes the routing counters (reservations are untouched).
     pub fn reset_stats(&mut self) {
         self.stats = RouterStats::default();
+        self.commit_cells = 0;
     }
 
     /// The underlying grid.
@@ -392,10 +417,11 @@ impl Router {
         self.region_cycle = None;
     }
 
-    /// Clears a tile blockage (used when remapping).
+    /// Clears a tile blockage (used when remapping). Dead cells stay
+    /// blocked: a defective tile can never become routable.
     pub fn unblock_tile(&mut self, slot: usize) {
         let cell = self.grid.tile_cell(slot);
-        self.blocked[cell] = false;
+        self.blocked[cell] = self.grid.is_dead(cell);
         self.region_cycle = None;
     }
 
@@ -698,6 +724,13 @@ impl Router {
             self.watermark
         );
         self.watermark = cycle;
+        if cycle != self.commit_cycle {
+            self.stats.peak_cycle_path_cells =
+                self.stats.peak_cycle_path_cells.max(self.commit_cells);
+            self.commit_cycle = cycle;
+            self.commit_cells = 0;
+        }
+        self.commit_cells += path.cells().len() as u64;
         let until = cycle + duration;
         match self.mode {
             Disjointness::Node => {
@@ -1517,5 +1550,63 @@ mod edp_tests {
         let a = r.find_tile_path(0, 1, 0).expect("a");
         let b = r.find_tile_path(0, 1, 0).expect("b");
         assert_eq!(a, b, "find_tile_path must not reserve anything");
+    }
+
+    #[test]
+    fn dead_tiles_are_blocked_at_construction() {
+        // Tiles in a row: 0 — X — 2; the dead middle tile must force the
+        // same detour a mapped tile would, without any block_tile call.
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 1, 3, 1, 3)
+            .unwrap()
+            .with_defects(&[(0, 1)])
+            .unwrap();
+        let mut r = Router::new(chip.grid(), Disjointness::Node);
+        let mid = r.grid().tile_cell(1);
+        assert!(r.is_blocked(mid), "dead cell blocked from birth");
+        r.block_tile(0);
+        r.block_tile(2);
+        let p = r.find_tile_path(0, 2, 0).expect("path around the dead tile");
+        assert!(!p.cells().contains(&mid));
+        assert!(p.len() > 4, "detour is longer than the straight line");
+    }
+
+    #[test]
+    fn unblock_tile_does_not_resurrect_dead_cells() {
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 1, 3, 1, 3)
+            .unwrap()
+            .with_defects(&[(0, 1)])
+            .unwrap();
+        let mut r = Router::new(chip.grid(), Disjointness::Node);
+        let mid = r.grid().tile_cell(1);
+        r.block_tile(1);
+        r.unblock_tile(1);
+        assert!(r.is_blocked(mid), "a dead tile stays blocked after unblock");
+        r.unblock_tile(0);
+        assert!(!r.is_blocked(r.grid().tile_cell(0)), "live tiles unblock normally");
+    }
+
+    #[test]
+    fn peak_cycle_path_cells_tracks_the_busiest_cycle() {
+        // Two disjoint pairs routed in cycle 0, one pair in cycle 1.
+        let chip = Chip::uniform(CodeModel::DoubleDefect, 1, 4, 1, 3).unwrap();
+        let mut r = Router::new(chip.grid(), Disjointness::Node);
+        for t in 0..4 {
+            r.block_tile(t);
+        }
+        let a = r.route_tiles(0, 1, 0, 1).expect("a");
+        let b = r.route_tiles(2, 3, 0, 1).expect("b");
+        let cycle0 = (a.cells().len() + b.cells().len()) as u64;
+        assert_eq!(r.stats().peak_cycle_path_cells, cycle0);
+        let c = r.route_tiles(0, 1, 1, 1).expect("c");
+        assert!((c.cells().len() as u64) < cycle0);
+        assert_eq!(r.stats().peak_cycle_path_cells, cycle0, "cycle 1 is quieter");
+        // Probes must not move the peak.
+        let before = r.stats().peak_cycle_path_cells;
+        r.find_tile_path(2, 3, 1).expect("probe");
+        assert_eq!(r.stats().peak_cycle_path_cells, before);
+        // merged() takes the max of peaks, not the sum.
+        let merged =
+            r.stats().merged(RouterStats { peak_cycle_path_cells: 1, ..RouterStats::default() });
+        assert_eq!(merged.peak_cycle_path_cells, cycle0);
     }
 }

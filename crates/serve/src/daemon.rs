@@ -9,7 +9,7 @@
 //!
 //! | op       | fields |
 //! |----------|--------|
-//! | `submit` | a circuit source — `"qasm"` (inline source), `"file"` (path), or `"random"` (`{qubits, depth, parallelism, seed}`) — plus optional `"chip"`, `"model"`, `"deadline_ms"`, `"tag"` |
+//! | `submit` | a circuit source — `"qasm"` (inline source), `"file"` (path), or `"random"` (`{qubits, depth, parallelism, seed}`) — plus optional `"chip"`, `"model"`, `"deadline_ms"`, `"tag"`, and a defect mask: `"defects"` (explicit `"r,c;r,c"` coordinates) or `"defect_percent"` + `"defect_seed"` (seeded random dead tiles, capped so the circuit still fits) |
 //! | `status` | `"job"` — non-blocking lifecycle probe |
 //! | `cancel` | `"job"` — cooperative cancellation |
 //! | `result` | `"job"` — blocking wait; emits the job's result line now |
@@ -25,8 +25,10 @@
 //! `status`, `cancel`, `result`, `drained`, `stats`, or `error`. A `result` line
 //! for a completed job embeds the same `CompileReport` JSON object that
 //! `ecmasc --json` emits (and that CI validates against the report
-//! schema); cancelled / deadline-expired / failed jobs report a
-//! `"status"` of `cancelled` / `deadline` / `error` instead.
+//! schema), including its per-job `"resources"` estimate; cancelled /
+//! deadline-expired / failed jobs report a `"status"` of `cancelled` /
+//! `deadline` / `error` instead. The `stats` line aggregates the
+//! resource estimates of every completed job in a `"resources"` object.
 
 use std::time::Duration;
 
@@ -139,18 +141,50 @@ struct Entry {
     state: EntryState,
 }
 
+/// Running totals over the [`ResourceEstimate`]s of completed jobs,
+/// reported in the `stats` line's `"resources"` object.
+///
+/// [`ResourceEstimate`]: ecmas_core::ResourceEstimate
+#[derive(Clone, Copy, Debug, Default)]
+struct ResourceTotals {
+    jobs: u64,
+    logical_qubits: u64,
+    cycles: u64,
+    space_time_volume: u64,
+    stage_cost: u64,
+    peak_channel_utilization_ppm: u64,
+}
+
+impl ResourceTotals {
+    fn absorb(&mut self, r: &ecmas_core::ResourceEstimate) {
+        self.jobs += 1;
+        self.logical_qubits += r.logical_qubits as u64;
+        self.cycles += r.cycles;
+        self.space_time_volume += r.space_time_volume;
+        self.stage_cost += r.stage_cost.profile + r.stage_cost.map + r.stage_cost.schedule;
+        self.peak_channel_utilization_ppm =
+            self.peak_channel_utilization_ppm.max(r.channel_peak_utilization_ppm);
+    }
+}
+
 /// The protocol engine: owns the [`CompileService`] and the job registry.
 pub struct Daemon {
     options: DaemonOptions,
     service: CompileService,
     entries: Vec<Entry>,
+    totals: ResourceTotals,
 }
 
 impl Daemon {
     /// Starts the service with the given options.
     #[must_use]
     pub fn new(options: DaemonOptions) -> Self {
-        Daemon { options, service: CompileService::new(options.service), entries: Vec::new() }
+        Daemon {
+            options,
+            service: CompileService::new(options.service),
+            entries: Vec::new(),
+            totals: ResourceTotals::default(),
+        }
     }
 
     /// Jobs submitted so far.
@@ -183,6 +217,9 @@ impl Daemon {
             };
             self.entries[index].state = match handle.try_wait() {
                 Ok(result) => {
+                    if let Ok(outcome) = &result {
+                        self.totals.absorb(&outcome.report.resources);
+                    }
                     let entry = &self.entries[index];
                     let (label, line) =
                         result_line(index, entry.tag.as_deref(), &entry.name, entry.qubits, result);
@@ -272,6 +309,10 @@ impl Daemon {
             Ok(chip) => chip,
             Err(e) => return vec![error_line(&format!("chip construction failed: {e}"))],
         };
+        let chip = match apply_defect_fields(chip, request, circuit.qubits()) {
+            Ok(chip) => chip,
+            Err(message) => return vec![error_line(&message)],
+        };
         let name = circuit.name().to_string();
         let qubits = circuit.qubits();
         let mut compile_request = CompileRequest::new(circuit, chip);
@@ -360,11 +401,14 @@ impl Daemon {
         vec![self.take_result(index)]
     }
 
-    /// Renders the `stats` response: submission/lifecycle tallies plus
-    /// the service-wide compile-cache counters. Non-blocking — in-flight
-    /// jobs count as pending. With the cache disabled the `"cache"`
-    /// object is present with `"enabled":false` and zeroed counters, so
-    /// consumers can parse one shape unconditionally.
+    /// Renders the `stats` response: submission/lifecycle tallies, the
+    /// service-wide compile-cache counters, and aggregate resource
+    /// totals over every *completed* job (sums of logical qubits,
+    /// cycles, space–time volume, and stage cost; max of per-job peak
+    /// channel utilization). Non-blocking — in-flight jobs count as
+    /// pending and are not yet in the totals. With the cache disabled
+    /// the `"cache"` object is present with `"enabled":false` and zeroed
+    /// counters, so consumers can parse one shape unconditionally.
     fn stats_line(&self) -> String {
         let mut pending = 0usize;
         let mut done = 0usize;
@@ -390,7 +434,10 @@ impl Daemon {
              \"cancelled\":{cancelled},\"deadline\":{deadline},\"failed\":{failed},\
              \"queued\":{},\"workers\":{},\"cache\":{{\"enabled\":{enabled},\
              \"hits\":{},\"misses\":{},\"stage_hits\":{},\"evictions\":{},\
-             \"resident_bytes\":{},\"coalesced_waits\":{},\"entries\":{}}}}}",
+             \"resident_bytes\":{},\"coalesced_waits\":{},\"entries\":{}}},\
+             \"resources\":{{\"jobs\":{},\"logical_qubits\":{},\"cycles\":{},\
+             \"space_time_volume\":{},\"stage_cost\":{},\
+             \"peak_channel_utilization_ppm\":{}}}}}",
             self.entries.len(),
             self.service.queued(),
             self.service.workers(),
@@ -401,6 +448,12 @@ impl Daemon {
             c.resident_bytes,
             c.coalesced_waits,
             c.entries,
+            self.totals.jobs,
+            self.totals.logical_qubits,
+            self.totals.cycles,
+            self.totals.space_time_volume,
+            self.totals.stage_cost,
+            self.totals.peak_channel_utilization_ppm,
         )
     }
 
@@ -412,6 +465,9 @@ impl Daemon {
         let (label, line) = match state {
             EntryState::Pending(handle) => {
                 let result = handle.wait();
+                if let Ok(outcome) = &result {
+                    self.totals.absorb(&outcome.report.resources);
+                }
                 let entry = &self.entries[index];
                 result_line(index, entry.tag.as_deref(), &entry.name, entry.qubits, result)
             }
@@ -462,6 +518,60 @@ fn error_line(message: &str) -> String {
     format!("{{\"op\":\"error\",\"error\":\"{}\"}}", json::escape(message))
 }
 
+/// Parses an explicit defect-mask spec: semicolon-separated `row,col`
+/// tile coordinates, e.g. `"1,2;3,0"`. Shared by the `ecmasd` protocol
+/// (`"defects"` field) and `ecmasc --defects`. Coordinates are validated
+/// against the chip later (by [`Chip::with_defects`]), not here.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input.
+pub fn parse_defect_spec(spec: &str) -> Result<Vec<(usize, usize)>, String> {
+    let mut coords = Vec::new();
+    for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+        let (row, col) =
+            part.split_once(',').ok_or_else(|| format!("defect {part:?} is not \"row,col\""))?;
+        let parse = |s: &str, what: &str| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("defect {part:?} has a non-integer {what}"))
+        };
+        coords.push((parse(row, "row")?, parse(col, "col")?));
+    }
+    Ok(coords)
+}
+
+/// Applies a submit request's optional defect fields to the built chip:
+/// `"defects"` (explicit coordinates) and/or `"defect_percent"` +
+/// `"defect_seed"` (seeded random dead tiles, capped so `qubits` still
+/// fit on the live tiles). Out-of-range coordinates and over-defected
+/// chips are reported as errors, not deferred to a compile failure.
+fn apply_defect_fields(mut chip: Chip, request: &Value, qubits: usize) -> Result<Chip, String> {
+    if let Some(spec) = request.get("defects").and_then(Value::as_str) {
+        let coords = parse_defect_spec(spec)?;
+        chip = chip.with_defects(&coords).map_err(|e| e.to_string())?;
+    }
+    if let Some(percent) = request.get("defect_percent").and_then(Value::as_u64) {
+        if percent > 100 {
+            return Err(format!("defect_percent {percent} exceeds 100"));
+        }
+        let seed = request.get("defect_seed").and_then(Value::as_u64).unwrap_or(0);
+        let slots = chip.tile_slots();
+        // Cap the dead count so the circuit still fits: a stress knob
+        // should degrade the chip, not reject the job.
+        let want = (slots * usize::try_from(percent).expect("<= 100")) / 100;
+        let cap = chip.live_tiles().saturating_sub(qubits);
+        chip.seed_defects(want.min(cap), seed);
+    }
+    if qubits > chip.live_tiles() {
+        return Err(format!(
+            "defect mask leaves {} live tiles for {qubits} qubits",
+            chip.live_tiles()
+        ));
+    }
+    Ok(chip)
+}
+
 /// Builds the circuit named by a submit request's source field.
 fn build_circuit(request: &Value) -> Result<Circuit, String> {
     if let Some(source) = request.get("qasm").and_then(Value::as_str) {
@@ -500,6 +610,11 @@ fn build_circuit(request: &Value) -> Result<Circuit, String> {
 /// `cancel_every`-th submit (targeting the job just submitted — it is
 /// honored whenever the job is still queued when the daemon reads the
 /// next line), and a final `drain`.
+///
+/// With a nonzero `spec.defect_percent` every submit also carries
+/// `"defect_percent"` and its per-job `"defect_seed"`, so each job's
+/// target chip arrives with that fraction of tiles dead. At `0` (the
+/// default) the emitted stream is byte-identical to the legacy format.
 #[must_use]
 pub fn stress_stream(
     spec: &StressSpec,
@@ -511,9 +626,18 @@ pub fn stress_stream(
     let deadline = deadline_ms.map_or_else(String::new, |ms| format!(",\"deadline_ms\":{ms}"));
     for (i, job) in workload.jobs().iter().enumerate() {
         let number = i + 1;
+        let defects = if workload.defect_percent() > 0 {
+            format!(
+                ",\"defect_percent\":{},\"defect_seed\":{}",
+                workload.defect_percent(),
+                workload.defect_seed(i)
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
             "{{\"op\":\"submit\",\"tag\":\"stress{i}\",\"random\":{{\"qubits\":{},\
-             \"depth\":{},\"parallelism\":{},\"seed\":{}}}{deadline}}}\n",
+             \"depth\":{},\"parallelism\":{},\"seed\":{}}}{defects}{deadline}}}\n",
             job.qubits, job.depth, job.parallelism, job.seed
         ));
         if let Some(every) = cancel_every {
@@ -659,6 +783,130 @@ mod tests {
         let coalesced = cache.get("coalesced_waits").unwrap().as_u64().unwrap();
         assert_eq!(hits + coalesced, 2, "duplicates served from the cache");
         assert!(cache.get("resident_bytes").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn defect_fields_shape_the_submitted_chip() {
+        let mut d = daemon(1);
+        // Explicit coordinates: compiles fine on the remaining live tiles.
+        let resp = one(d.handle_line(
+            r#"{"op":"submit","random":{"qubits":4,"depth":4,"parallelism":1,"seed":1},"chip":"congested","defects":"0,0;1,1"}"#,
+        ));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("submitted"));
+        let result = one(d.handle_line(r#"{"op":"result","job":1}"#));
+        assert_eq!(result.get("status").unwrap().as_str(), Some("done"));
+        let resources = result.get("report").unwrap().get("resources").expect("resources");
+        let live = resources.get("live_tiles").unwrap().as_u64().unwrap();
+        let slots = live + 2;
+        assert!(slots >= 8, "congested chip for 4 qubits has at least 8 slots");
+
+        // Out-of-range coordinates: a clear error, not a job failure.
+        let resp = one(d.handle_line(
+            r#"{"op":"submit","random":{"qubits":4,"depth":4,"parallelism":1,"seed":1},"defects":"99,0"}"#,
+        ));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("error"));
+        assert!(resp.get("error").unwrap().as_str().unwrap().contains("outside"));
+
+        // Malformed spec.
+        let resp = one(d.handle_line(
+            r#"{"op":"submit","random":{"qubits":4,"depth":4,"parallelism":1,"seed":1},"defects":"1;2"}"#,
+        ));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("error"));
+
+        // A mask that leaves no room for the circuit.
+        let resp = one(d.handle_line(
+            r#"{"op":"submit","random":{"qubits":4,"depth":4,"parallelism":1,"seed":1},"defects":"0,0;0,1;1,0"}"#,
+        ));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("error"));
+        assert!(resp.get("error").unwrap().as_str().unwrap().contains("live tiles"));
+    }
+
+    #[test]
+    fn seeded_defect_percent_caps_to_keep_the_job_viable() {
+        let mut d = daemon(1);
+        // 90% dead on a min chip would leave too few tiles; the cap must
+        // keep exactly enough live tiles for the circuit.
+        let resp = one(d.handle_line(
+            r#"{"op":"submit","random":{"qubits":6,"depth":5,"parallelism":2,"seed":9},"chip":"congested","defect_percent":90,"defect_seed":7}"#,
+        ));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("submitted"), "{resp:?}");
+        let result = one(d.handle_line(r#"{"op":"result","job":1}"#));
+        assert_eq!(result.get("status").unwrap().as_str(), Some("done"));
+        let resources = result.get("report").unwrap().get("resources").expect("resources");
+        assert_eq!(resources.get("logical_qubits").unwrap().as_u64(), Some(6));
+        assert_eq!(resources.get("live_tiles").unwrap().as_u64(), Some(6), "capped at qubits");
+
+        // Over 100% is rejected up front.
+        let resp = one(d.handle_line(
+            r#"{"op":"submit","random":{"qubits":6,"depth":5,"parallelism":2,"seed":9},"defect_percent":101}"#,
+        ));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("error"));
+    }
+
+    #[test]
+    fn stats_aggregates_completed_resources() {
+        let mut d = daemon(2);
+        let before = one(d.handle_line(r#"{"op":"stats"}"#));
+        let resources = before.get("resources").expect("resources object always present");
+        assert_eq!(resources.get("jobs").unwrap().as_u64(), Some(0));
+        assert_eq!(resources.get("space_time_volume").unwrap().as_u64(), Some(0));
+
+        one(d.handle_line(
+            r#"{"op":"submit","random":{"qubits":8,"depth":6,"parallelism":2,"seed":2}}"#,
+        ));
+        one(d.handle_line(
+            r#"{"op":"submit","random":{"qubits":10,"depth":8,"parallelism":3,"seed":3}}"#,
+        ));
+        d.drain();
+        let stats = one(d.handle_line(r#"{"op":"stats"}"#));
+        let resources = stats.get("resources").expect("resources object");
+        assert_eq!(resources.get("jobs").unwrap().as_u64(), Some(2));
+        assert_eq!(resources.get("logical_qubits").unwrap().as_u64(), Some(18));
+        let cycles = resources.get("cycles").unwrap().as_u64().unwrap();
+        assert!(cycles >= 6 + 8, "summed cycles cover both jobs");
+        let stv = resources.get("space_time_volume").unwrap().as_u64().unwrap();
+        assert!(stv >= 8 * 6 + 10 * 8);
+        assert!(resources.get("stage_cost").unwrap().as_u64().unwrap() > 0);
+        assert!(
+            resources.get("peak_channel_utilization_ppm").unwrap().as_u64().unwrap() > 0,
+            "routed jobs have a busiest cycle"
+        );
+    }
+
+    #[test]
+    fn defect_spec_parses_and_rejects() {
+        assert_eq!(parse_defect_spec("1,2;3,0").unwrap(), vec![(1, 2), (3, 0)]);
+        assert_eq!(parse_defect_spec(" 1 , 2 ; ").unwrap(), vec![(1, 2)]);
+        assert_eq!(parse_defect_spec("").unwrap(), vec![]);
+        assert!(parse_defect_spec("7").is_err());
+        assert!(parse_defect_spec("a,b").is_err());
+        assert!(parse_defect_spec("1,-2").is_err());
+    }
+
+    #[test]
+    fn stress_stream_defect_knob_is_optional_and_seeded() {
+        let base = StressSpec { jobs: 5, ..StressSpec::new(5, 16, 3) };
+        let legacy = stress_stream(&base, None, None);
+        assert!(!legacy.contains("defect"), "0% emits the legacy byte stream");
+
+        let spec = StressSpec { defect_percent: 10, ..base };
+        let stream = stress_stream(&spec, None, None);
+        assert_eq!(stream, stress_stream(&spec, None, None));
+        let workload = StressWorkload::new(&spec);
+        for (i, line) in stream.lines().take(5).enumerate() {
+            let v = json::parse(line).expect("valid JSON");
+            assert_eq!(v.get("defect_percent").unwrap().as_u64(), Some(10));
+            assert_eq!(v.get("defect_seed").unwrap().as_u64(), Some(workload.defect_seed(i)));
+        }
+        // And a daemon accepts the whole defective stream.
+        let mut d = daemon(2);
+        let mut lines = Vec::new();
+        for line in stream.lines() {
+            lines.extend(d.handle_line(line));
+        }
+        let summary = json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(summary.get("op").unwrap().as_str(), Some("drained"));
+        assert_eq!(summary.get("done").unwrap().as_u64(), Some(5));
     }
 
     #[test]

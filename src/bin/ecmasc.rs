@@ -3,9 +3,10 @@
 //!
 //! ```sh
 //! ecmasc program.qasm [--model dd|ls] [--chip min|4x|congested|sufficient]
-//!                     [--timeline N] [--json]
+//!                     [--defects "1,2;3,0"] [--timeline N] [--json]
+//! ecmasc program.qasm --fleet min,4x,congested [--model dd|ls] [--json]
 //! ecmasc --jobs list.txt [--workers N] [--repeat N] [--cache-mb M]
-//!        [--model …] [--chip …]
+//!        [--model …] [--chip …] [--defects …]
 //! ```
 //!
 //! By default the resource-adaptive pipeline runs (`Ecmas::compile_auto`:
@@ -13,8 +14,17 @@
 //! `ĝPM`, Algorithm 1 otherwise) and a human-readable summary is printed.
 //! `--json` instead emits the structured `CompileReport` — per-stage wall
 //! times, router path/conflict counters, the bandwidth-adjust decision,
-//! and the chosen algorithm — as a single JSON object on stdout, wrapped
-//! with the input's circuit/chip facts.
+//! the chosen algorithm, and the per-job `resources` estimate — as a
+//! single JSON object on stdout, wrapped with the input's circuit/chip
+//! facts.
+//!
+//! `--defects "r,c;r,c"` marks tile slots dead before compiling — the
+//! compiler places and routes around them. Coordinates outside the chip
+//! are rejected up front. `--fleet a,b,…` instead hands the compiler a
+//! list of candidate chips (the same names `--chip` takes) and lets it
+//! pick the cheapest one — fewest physical qubits — that compiles the
+//! circuit (`Ecmas::compile_auto_fleet`); it conflicts with `--chip` and
+//! `--defects`, which pin a single target.
 //!
 //! `--jobs <file>` switches to the service path: every non-blank,
 //! non-`#` line of the file is a QASM path, all of them are submitted to
@@ -28,9 +38,11 @@
 
 use std::process::ExitCode;
 
-use ecmas::serve::daemon::ChipKind;
+use ecmas::serve::daemon::{parse_defect_spec, ChipKind};
 use ecmas::serve::json;
-use ecmas::{validate_encoded, viz, CompileRequest, CompileService, Ecmas, ServiceConfig};
+use ecmas::{
+    validate_encoded, viz, ChipFleet, CompileRequest, CompileService, Ecmas, ServiceConfig,
+};
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::Circuit;
 
@@ -38,6 +50,8 @@ struct Args {
     path: String,
     model: CodeModel,
     chip: ChipKind,
+    defects: Vec<(usize, usize)>,
+    fleet: Vec<ChipKind>,
     timeline: u64,
     json: bool,
     jobs: bool,
@@ -50,7 +64,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut model = CodeModel::DoubleDefect;
-    let mut chip = ChipKind::Min;
+    let mut chip = None;
+    let mut defects = Vec::new();
+    let mut fleet = Vec::new();
     let mut timeline = 0;
     let mut json = false;
     let mut jobs = false;
@@ -68,8 +84,30 @@ fn parse_args() -> Result<Args, String> {
             }
             "--chip" => {
                 let v = args.next().ok_or("missing value for --chip")?;
-                chip = ChipKind::parse(&v)
-                    .ok_or(format!("unknown chip {v:?} (want min|4x|congested|sufficient)"))?;
+                chip = Some(
+                    ChipKind::parse(&v)
+                        .ok_or(format!("unknown chip {v:?} (want min|4x|congested|sufficient)"))?,
+                );
+            }
+            "--defects" => {
+                let v = args.next().ok_or("missing value for --defects")?;
+                defects = parse_defect_spec(&v)?;
+            }
+            "--fleet" => {
+                let v = args.next().ok_or("missing value for --fleet")?;
+                fleet = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|k| !k.is_empty())
+                    .map(|k| {
+                        ChipKind::parse(k).ok_or(format!(
+                            "unknown fleet candidate {k:?} (want min|4x|congested|sufficient)"
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if fleet.is_empty() {
+                    return Err("--fleet wants a comma-separated list of chip kinds".into());
+                }
             }
             "--timeline" => {
                 timeline = args
@@ -108,9 +146,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: ecmasc <file.qasm> [--model dd|ls] \
-                            [--chip min|4x|congested|sufficient] [--timeline N] [--json] | \
+                            [--chip min|4x|congested|sufficient] [--defects \"r,c;r,c\"] \
+                            [--timeline N] [--json] | \
+                            ecmasc <file.qasm> --fleet min,4x,… [--model …] [--json] | \
                             ecmasc --jobs <list.txt> [--workers N] [--repeat N] [--cache-mb M] \
-                            [--model …] [--chip …]"
+                            [--model …] [--chip …] [--defects …]"
                     .into());
             }
             other if path.is_none() && !jobs && !other.starts_with('-') => {
@@ -120,7 +160,30 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let path = path.ok_or("missing input file (see --help)")?;
-    Ok(Args { path, model, chip, timeline, json, jobs, workers, repeat, cache_bytes })
+    if !fleet.is_empty() {
+        if chip.is_some() {
+            return Err("--fleet conflicts with --chip (the fleet lists the candidates)".into());
+        }
+        if !defects.is_empty() {
+            return Err("--fleet conflicts with --defects (masks pin one target)".into());
+        }
+        if jobs {
+            return Err("--fleet conflicts with --jobs".into());
+        }
+    }
+    Ok(Args {
+        path,
+        model,
+        chip: chip.unwrap_or(ChipKind::Min),
+        defects,
+        fleet,
+        timeline,
+        json,
+        jobs,
+        workers,
+        repeat,
+        cache_bytes,
+    })
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, String> {
@@ -139,7 +202,7 @@ fn json_line(
     format!(
         "{{\"file\":\"{}\",\"qubits\":{},\"cnots\":{},\"depth\":{},\
          \"model\":\"{}\",\"chip\":{{\"kind\":\"{}\",\"tile_rows\":{},\"tile_cols\":{},\
-         \"bandwidth\":{}}},\"report\":{report}}}",
+         \"bandwidth\":{},\"defects\":{},\"live_tiles\":{}}},\"report\":{report}}}",
         json::escape(path),
         circuit.qubits(),
         circuit.cnot_count(),
@@ -149,7 +212,22 @@ fn json_line(
         chip.tile_rows(),
         chip.tile_cols(),
         chip.bandwidth(),
+        chip.defect_count(),
+        chip.live_tiles(),
     )
+}
+
+/// Build the `--chip` target for a circuit and apply any `--defects`
+/// mask, rejecting coordinates outside the chosen chip up front.
+fn build_chip(args: &Args, circuit: &Circuit) -> Result<Chip, String> {
+    let chip = args.chip.build(args.model, circuit).map_err(|e| e.to_string())?;
+    if args.defects.is_empty() {
+        Ok(chip)
+    } else {
+        let (rows, cols) = (chip.tile_rows(), chip.tile_cols());
+        chip.with_defects(&args.defects)
+            .map_err(|e| format!("--defects: {e} (chip is {rows}×{cols} tiles)"))
+    }
 }
 
 /// `--jobs`: fan a file of QASM paths through the compile service.
@@ -167,7 +245,7 @@ fn run_jobs(args: &Args) -> Result<(), String> {
     for _ in 0..args.repeat {
         for path in &paths {
             let circuit = load_circuit(path)?;
-            let chip = args.chip.build(args.model, &circuit).map_err(|e| e.to_string())?;
+            let chip = build_chip(args, &circuit)?;
             let handle = service
                 .submit(CompileRequest::new(circuit.clone(), chip.clone()))
                 .map_err(|e| e.to_string())?;
@@ -201,32 +279,60 @@ fn run() -> Result<(), String> {
         );
     }
 
-    let chip = args.chip.build(args.model, &circuit).map_err(|e| e.to_string())?;
+    // `--fleet`: heterogeneous target selection — try candidates from
+    // cheapest (fewest physical qubits) to priciest, keep the first that
+    // compiles. The selected candidate then flows into the same report
+    // and summary paths a pinned `--chip` would.
+    let (chip_kind, chip, outcome) = if args.fleet.is_empty() {
+        let chip = build_chip(&args, &circuit)?;
 
-    // The resource-adaptive session pipeline: profile, map, then pick
-    // limited vs ReSu from capacity vs ĝPM. `--chip sufficient` sizes the
-    // chip so the auto choice lands on ReSu, as before.
-    let outcome = Ecmas::default().compile_auto(&circuit, &chip).map_err(|e| e.to_string())?;
+        // The resource-adaptive session pipeline: profile, map, then pick
+        // limited vs ReSu from capacity vs ĝPM. `--chip sufficient` sizes
+        // the chip so the auto choice lands on ReSu, as before.
+        let outcome = Ecmas::default().compile_auto(&circuit, &chip).map_err(|e| e.to_string())?;
+        (args.chip, chip, outcome)
+    } else {
+        let candidates = args
+            .fleet
+            .iter()
+            .map(|kind| kind.build(args.model, &circuit).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let selection = Ecmas::default()
+            .compile_auto_fleet(&circuit, &ChipFleet::new(candidates.clone()))
+            .map_err(|e| e.to_string())?;
+        let kind = args.fleet[selection.chip_index];
+        let chip = candidates[selection.chip_index].clone();
+        if !args.json {
+            eprintln!(
+                "fleet: selected candidate {} of {} ({})",
+                selection.chip_index + 1,
+                candidates.len(),
+                kind.label(),
+            );
+        }
+        (kind, chip, selection.outcome)
+    };
     validate_encoded(&circuit, &outcome.encoded)
         .map_err(|e| format!("internal: invalid schedule: {e}"))?;
 
     if args.json {
         println!(
             "{}",
-            json_line(&args.path, &circuit, args.chip, &chip, &outcome.report.to_json())
+            json_line(&args.path, &circuit, chip_kind, &chip, &outcome.report.to_json())
         );
         return Ok(());
     }
 
     let report = &outcome.report;
     println!(
-        "model={} chip={} ({}×{} tiles, bandwidth {}) algorithm={} Δ = {} cycles \
+        "model={} chip={} ({}×{} tiles, bandwidth {}, {} dead) algorithm={} Δ = {} cycles \
          ({} events, {} cut modifications)",
         chip.model().label(),
-        args.chip.label(),
+        chip_kind.label(),
         chip.tile_rows(),
         chip.tile_cols(),
         chip.bandwidth(),
+        chip.defect_count(),
         report.algorithm.label(),
         report.cycles,
         report.events,

@@ -22,14 +22,17 @@
 //!
 //! ```sh
 //! ecmasd --emit-stress 1000 --seed 7 [--qubits-max 49] [--depth-max 1500]
-//!        [--dup-percent 60] [--cancel-every 50] [--deadline-ms 60000]
+//!        [--dup-percent 60] [--defect-percent 10] [--cancel-every 50]
+//!        [--deadline-ms 60000]
 //! ```
 //!
 //! prints a deterministic seeded `StressWorkload` as a ready-to-pipe job
 //! stream (`--dup-percent` makes that percentage of jobs exact repeats
 //! of earlier ones, Zipf-skewed toward a few hot circuits — the shape
-//! that exercises the compile cache), so a full service exercise is one
-//! shell line:
+//! that exercises the compile cache; `--defect-percent` stamps each
+//! submit with a seeded fraction of dead tiles so the receiving daemon
+//! compiles onto damaged hardware, without perturbing the job stream
+//! itself), so a full service exercise is one shell line:
 //!
 //! ```sh
 //! ecmasd --emit-stress 1000 --seed 7 --dup-percent 60 \
@@ -51,6 +54,7 @@ struct Args {
     qubits_max: usize,
     depth_max: usize,
     dup_percent: u8,
+    defect_percent: u8,
     cancel_every: Option<usize>,
     deadline_ms: Option<u64>,
 }
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
     let mut qubits_max = 49usize;
     let mut depth_max = 1500usize;
     let mut dup_percent = 0u8;
+    let mut defect_percent = 0u8;
     let mut cancel_every = None;
     let mut deadline_ms = None;
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -112,6 +117,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--dup-percent must be 0..=100".into());
                 }
             }
+            "--defect-percent" => {
+                defect_percent =
+                    parse_num(&value(&mut args, "--defect-percent")?, "--defect-percent")?;
+                if defect_percent > 100 {
+                    return Err("--defect-percent must be 0..=100".into());
+                }
+            }
             "--cancel-every" => {
                 cancel_every =
                     Some(parse_num(&value(&mut args, "--cancel-every")?, "--cancel-every")?);
@@ -125,7 +137,7 @@ fn parse_args() -> Result<Args, String> {
                             [--chip min|4x|congested|sufficient] [--workers N] [--queue N] \
                             [--reject] [--cache-mb M] | ecmasd --emit-stress N [--seed S] \
                             [--qubits-max Q] [--depth-max D] [--dup-percent P] \
-                            [--cancel-every K] [--deadline-ms MS]"
+                            [--defect-percent P] [--cancel-every K] [--deadline-ms MS]"
                     .into());
             }
             other => return Err(format!("unexpected argument {other:?}")),
@@ -138,6 +150,7 @@ fn parse_args() -> Result<Args, String> {
         qubits_max,
         depth_max,
         dup_percent,
+        defect_percent,
         cancel_every,
         deadline_ms,
     })
@@ -162,6 +175,7 @@ fn run() -> Result<(), String> {
             max_depth: args.depth_max,
             min_depth: base.min_depth.min(args.depth_max),
             dup_percent: args.dup_percent,
+            defect_percent: args.defect_percent,
             ..base
         };
         print!("{}", stress_stream(&spec, args.cancel_every, args.deadline_ms));

@@ -47,15 +47,16 @@
 #![warn(missing_docs)]
 
 pub use ecmas_core::{
-    compiler, cut, encoded, engine, error, hardness, mapping, profile, resu, session, stable, viz,
+    compiler, cut, encoded, engine, error, hardness, mapping, profile, resources, resu, session,
+    stable, viz,
 };
 
 pub use ecmas_core::{
     fingerprint_encoded, para_finding, schedule_limited, schedule_sufficient, validate_encoded,
-    Algorithm, CacheInfo, CacheSource, CompileError, CompileOutcome, CompileReport, Compiler,
-    CutInitStrategy, CutPolicy, CutType, Ecmas, EcmasConfig, EncodedCircuit, Event, EventKind,
-    ExecutionScheme, GateOrder, LocationStrategy, MapArtifact, ProfileArtifact, ScheduleConfig,
-    StableHasher, ValidateError,
+    Algorithm, CacheInfo, CacheSource, ChipFleet, CompileError, CompileOutcome, CompileReport,
+    Compiler, CutInitStrategy, CutPolicy, CutType, Ecmas, EcmasConfig, EncodedCircuit, Event,
+    EventKind, ExecutionScheme, FleetSelection, GateOrder, LocationStrategy, MapArtifact,
+    ProfileArtifact, ResourceEstimate, ScheduleConfig, StableHasher, StageCost, ValidateError,
 };
 
 /// The compile-cache layer (`ecmas-cache`), re-exported whole:

@@ -100,6 +100,7 @@ fn baseline_outcome(
         cut_modifications: encoded.modification_count(),
         cache: CacheInfo::disabled(),
         resources,
+        diagnostics: Vec::new(),
     };
     CompileOutcome { encoded, report }
 }

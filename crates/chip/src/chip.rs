@@ -201,24 +201,28 @@ impl Chip {
 
     /// The encoding model.
     #[must_use]
+    #[inline]
     pub fn model(&self) -> CodeModel {
         self.model
     }
 
     /// Tile-array rows `R`.
     #[must_use]
+    #[inline]
     pub fn tile_rows(&self) -> usize {
         self.tile_rows
     }
 
     /// Tile-array columns `C`.
     #[must_use]
+    #[inline]
     pub fn tile_cols(&self) -> usize {
         self.tile_cols
     }
 
     /// Number of tile slots `R·C`, dead or alive.
     #[must_use]
+    #[inline]
     pub fn tile_slots(&self) -> usize {
         self.tile_rows * self.tile_cols
     }
@@ -298,6 +302,7 @@ impl Chip {
     ///
     /// Panics if `slot` is out of range.
     #[must_use]
+    #[inline]
     pub fn is_dead(&self, slot: usize) -> bool {
         self.defects[slot]
     }
@@ -331,6 +336,7 @@ impl Chip {
     ///
     /// Panics if `i > R`.
     #[must_use]
+    #[inline]
     pub fn h_bandwidth(&self, i: usize) -> u32 {
         self.h_bandwidth[i]
     }
@@ -341,6 +347,7 @@ impl Chip {
     ///
     /// Panics if `j > C`.
     #[must_use]
+    #[inline]
     pub fn v_bandwidth(&self, j: usize) -> u32 {
         self.v_bandwidth[j]
     }

@@ -42,6 +42,16 @@ pub struct RoutingGrid {
     tile_cells: Vec<usize>,
     h_channel: Vec<Option<usize>>,
     v_channel: Vec<Option<usize>>,
+    /// `h_seam[r]` — the boundary between grid rows `r` and `r + 1` is a
+    /// disabled-channel seam (both rows are tile rows, which only happens
+    /// when the channel between them has bandwidth 0). The strip still
+    /// occupies physical space but carries no horizontal lanes, so paths
+    /// may only cross it along an open *vertical* channel's lane columns
+    /// — never at a tile column.
+    h_seam: Vec<bool>,
+    /// `v_seam[c]` — same for the boundary between grid columns `c` and
+    /// `c + 1`.
+    v_seam: Vec<bool>,
 }
 
 impl RoutingGrid {
@@ -96,29 +106,44 @@ impl RoutingGrid {
             }
         }
 
-        RoutingGrid { rows, cols, cells, dead, tile_cells, h_channel, v_channel }
+        // A bandwidth-0 channel contributes no lane rows/cols, leaving the
+        // tile rows/cols on either side directly adjacent in the grid.
+        // Record those boundaries so routing never tunnels through a
+        // channel that physically has zero capacity.
+        let h_seam = (0..rows.saturating_sub(1))
+            .map(|r| h_channel[r].is_none() && h_channel[r + 1].is_none())
+            .collect();
+        let v_seam = (0..cols.saturating_sub(1))
+            .map(|c| v_channel[c].is_none() && v_channel[c + 1].is_none())
+            .collect();
+
+        RoutingGrid { rows, cols, cells, dead, tile_cells, h_channel, v_channel, h_seam, v_seam }
     }
 
     /// Grid height in cells.
     #[must_use]
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Grid width in cells.
     #[must_use]
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Total number of cells.
     #[must_use]
+    #[inline]
     pub fn len(&self) -> usize {
         self.cells.len()
     }
 
     /// `true` if the grid has no cells (never happens for valid chips).
     #[must_use]
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
     }
@@ -129,6 +154,7 @@ impl RoutingGrid {
     ///
     /// Panics (in debug builds) if out of range.
     #[must_use]
+    #[inline]
     pub fn index(&self, row: usize, col: usize) -> usize {
         debug_assert!(row < self.rows && col < self.cols);
         row * self.cols + col
@@ -136,6 +162,7 @@ impl RoutingGrid {
 
     /// Inverse of [`index`](Self::index).
     #[must_use]
+    #[inline]
     pub fn coords(&self, idx: usize) -> (usize, usize) {
         (idx / self.cols, idx % self.cols)
     }
@@ -146,12 +173,14 @@ impl RoutingGrid {
     ///
     /// Panics if `idx` is out of range.
     #[must_use]
+    #[inline]
     pub fn cell(&self, idx: usize) -> Cell {
         self.cells[idx]
     }
 
     /// `true` if `idx` is channel space.
     #[must_use]
+    #[inline]
     pub fn is_free(&self, idx: usize) -> bool {
         self.cells[idx] == Cell::Free
     }
@@ -160,6 +189,7 @@ impl RoutingGrid {
     /// and never a valid path endpoint. Routers seed their blocked set
     /// from this at construction, so their hot paths stay defect-blind.
     #[must_use]
+    #[inline]
     pub fn is_dead(&self, idx: usize) -> bool {
         self.dead[idx]
     }
@@ -177,33 +207,98 @@ impl RoutingGrid {
     ///
     /// Panics if `slot` is out of range.
     #[must_use]
+    #[inline]
     pub fn tile_cell(&self, slot: usize) -> usize {
         self.tile_cells[slot]
     }
 
     /// Number of tile slots.
     #[must_use]
+    #[inline]
     pub fn tile_count(&self) -> usize {
         self.tile_cells.len()
     }
 
-    /// The 4-neighborhood of `idx`, clipped at the boundary.
+    /// The 4-neighborhood of `idx`, clipped at the boundary and at
+    /// disabled-channel seams: the tile rows/cols a bandwidth-0 channel
+    /// separates are index-adjacent, but steppable-between only where an
+    /// open perpendicular channel's lane crosses the disabled strip.
     pub fn neighbors(&self, idx: usize) -> impl Iterator<Item = usize> + '_ {
         let (r, c) = self.coords(idx);
         let cols = self.cols;
         let rows = self.rows;
+        let lane_col = self.v_channel[c].is_some();
+        let lane_row = self.h_channel[r].is_some();
         [
-            (r > 0).then(|| idx - cols),
-            (r + 1 < rows).then(|| idx + cols),
-            (c > 0).then(|| idx - 1),
-            (c + 1 < cols).then(|| idx + 1),
+            (r > 0 && (lane_col || !self.h_seam[r - 1])).then(|| idx - cols),
+            (r + 1 < rows && (lane_col || !self.h_seam[r])).then(|| idx + cols),
+            (c > 0 && (lane_row || !self.v_seam[c - 1])).then(|| idx - 1),
+            (c + 1 < cols && (lane_row || !self.v_seam[c])).then(|| idx + 1),
         ]
         .into_iter()
         .flatten()
     }
 
+    /// Whether the boundary between grid rows `upper_row` and
+    /// `upper_row + 1` is a disabled-channel seam (see
+    /// [`step_allowed`](Self::step_allowed)).
+    #[must_use]
+    #[inline]
+    pub fn h_seam_blocked(&self, upper_row: usize) -> bool {
+        self.h_seam.get(upper_row).copied().unwrap_or(false)
+    }
+
+    /// Whether the boundary between grid columns `left_col` and
+    /// `left_col + 1` is a disabled-channel seam.
+    #[must_use]
+    #[inline]
+    pub fn v_seam_blocked(&self, left_col: usize) -> bool {
+        self.v_seam.get(left_col).copied().unwrap_or(false)
+    }
+
+    /// Whether a unit step between grid-adjacent cells `a` and `b` is
+    /// physically realizable. Every step between index-adjacent cells is,
+    /// except across a disabled-channel seam at a tile row/col: a
+    /// bandwidth-0 channel still occupies physical space between its tile
+    /// rows/cols, and only an open perpendicular channel's lane offers a
+    /// way through the strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `a` and `b` are not grid-adjacent.
+    #[must_use]
+    #[inline]
+    pub fn step_allowed(&self, a: usize, b: usize) -> bool {
+        debug_assert_eq!(self.manhattan(a, b), 1);
+        let (lo, hi) = (a.min(b), a.max(b));
+        if hi - lo == 1 {
+            !self.v_seam[lo % self.cols] || self.h_channel[lo / self.cols].is_some()
+        } else {
+            !self.h_seam[lo / self.cols] || self.v_channel[lo % self.cols].is_some()
+        }
+    }
+
+    /// The tile-row index of a grid row (`None` for lane rows).
+    #[must_use]
+    pub fn tile_row_index(&self, row: usize) -> Option<usize> {
+        if self.h_channel[row].is_some() {
+            return None;
+        }
+        Some(self.h_channel[..row].iter().filter(|ch| ch.is_none()).count())
+    }
+
+    /// The tile-column index of a grid column (`None` for lane columns).
+    #[must_use]
+    pub fn tile_col_index(&self, col: usize) -> Option<usize> {
+        if self.v_channel[col].is_some() {
+            return None;
+        }
+        Some(self.v_channel[..col].iter().filter(|ch| ch.is_none()).count())
+    }
+
     /// The horizontal channel a grid row belongs to (`None` for tile rows).
     #[must_use]
+    #[inline]
     pub fn h_channel_of_row(&self, row: usize) -> Option<usize> {
         self.h_channel[row]
     }
@@ -211,12 +306,14 @@ impl RoutingGrid {
     /// The vertical channel a grid column belongs to (`None` for tile
     /// columns).
     #[must_use]
+    #[inline]
     pub fn v_channel_of_col(&self, col: usize) -> Option<usize> {
         self.v_channel[col]
     }
 
     /// Manhattan distance between two cells.
     #[must_use]
+    #[inline]
     pub fn manhattan(&self, a: usize, b: usize) -> usize {
         let (ra, ca) = self.coords(a);
         let (rb, cb) = self.coords(b);
@@ -357,6 +454,57 @@ mod tests {
         assert_eq!(g.h_channel_of_row(1), None);
         assert_eq!(g.h_channel_of_row(2), None);
         assert_eq!(g.h_channel_of_row(3), Some(2));
+    }
+
+    #[test]
+    fn disabled_channel_seam_blocks_tile_column_steps() {
+        let mut c = chip(2, 2, 1);
+        c.set_h_bandwidth(1, 0).unwrap();
+        let g = c.grid();
+        // Rows: [ch0][tile0][tile1][ch2]; the tile rows 1 and 2 meet at a
+        // seam. Columns: [ch0][tile0][ch1][tile1][ch2].
+        assert!(g.h_seam_blocked(1));
+        assert!(!g.h_seam_blocked(0));
+        assert!(!g.v_seam_blocked(0));
+        // At a tile column the seam is impassable...
+        let above = g.index(1, 1);
+        let below = g.index(2, 1);
+        assert!(!g.step_allowed(above, below));
+        assert!(!g.neighbors(above).any(|n| n == below));
+        assert!(!g.neighbors(below).any(|n| n == above));
+        // ...but an open vertical channel's lane crosses the strip.
+        let lane_above = g.index(1, 2);
+        let lane_below = g.index(2, 2);
+        assert!(g.step_allowed(lane_above, lane_below));
+        assert!(g.neighbors(lane_above).any(|n| n == lane_below));
+        // Steps that cross no seam are untouched.
+        assert!(g.step_allowed(g.index(0, 1), g.index(1, 1)));
+        assert!(g.step_allowed(above, g.index(1, 2)));
+    }
+
+    #[test]
+    fn tile_row_and_col_indices() {
+        let mut c = chip(2, 2, 1);
+        c.set_h_bandwidth(1, 0).unwrap();
+        let g = c.grid();
+        assert_eq!(g.tile_row_index(0), None); // lane row of channel 0
+        assert_eq!(g.tile_row_index(1), Some(0));
+        assert_eq!(g.tile_row_index(2), Some(1));
+        assert_eq!(g.tile_row_index(3), None); // lane row of channel 2
+        assert_eq!(g.tile_col_index(1), Some(0));
+        assert_eq!(g.tile_col_index(3), Some(1));
+        assert_eq!(g.tile_col_index(2), None);
+    }
+
+    #[test]
+    fn uniform_chip_has_no_seams() {
+        let g = chip(3, 3, 2).grid();
+        for r in 0..g.rows() - 1 {
+            assert!(!g.h_seam_blocked(r));
+        }
+        for c in 0..g.cols() - 1 {
+            assert!(!g.v_seam_blocked(c));
+        }
     }
 
     #[test]

@@ -1,5 +1,3 @@
-use std::collections::HashMap;
-
 use crate::circuit::Circuit;
 
 /// One weighted edge of a [`CommGraph`]: `weight` CNOTs act on the qubit
@@ -48,14 +46,21 @@ impl CommGraph {
     #[must_use]
     pub fn new(circuit: &Circuit) -> Self {
         let qubits = circuit.qubits();
-        let mut weights: HashMap<(usize, usize), u32> = HashMap::new();
-        for g in circuit.cnot_gates() {
-            let key = (g.control.min(g.target), g.control.max(g.target));
-            *weights.entry(key).or_insert(0) += 1;
+        // Sort + run-length count instead of a hash map: one allocation,
+        // and the edge list comes out in `(a, b)` order for free.
+        let mut pairs: Vec<(usize, usize)> = circuit
+            .cnot_gates()
+            .iter()
+            .map(|g| (g.control.min(g.target), g.control.max(g.target)))
+            .collect();
+        pairs.sort_unstable();
+        let mut edges: Vec<CommEdge> = Vec::new();
+        for (a, b) in pairs {
+            match edges.last_mut() {
+                Some(e) if e.a == a && e.b == b => e.weight += 1,
+                _ => edges.push(CommEdge { a, b, weight: 1 }),
+            }
         }
-        let mut edges: Vec<CommEdge> =
-            weights.into_iter().map(|((a, b), weight)| CommEdge { a, b, weight }).collect();
-        edges.sort_by_key(|e| (e.a, e.b));
         let mut adj = vec![Vec::new(); qubits];
         for e in &edges {
             adj[e.a].push((e.b, e.weight));

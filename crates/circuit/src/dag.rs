@@ -41,8 +41,14 @@ pub type GateId = usize;
 pub struct GateDag {
     gates: Vec<CnotGate>,
     qubits: usize,
-    parents: Vec<Vec<GateId>>,
-    children: Vec<Vec<GateId>>,
+    // Adjacency in fixed-width flat arrays: every node has at most two
+    // parents and two children (one per operand qubit), so slots
+    // `2·id..2·id+count` hold them with no per-node allocation — the
+    // validator and every scheduler rebuild this on hot paths.
+    parents: Vec<GateId>,
+    parent_count: Vec<u8>,
+    children: Vec<GateId>,
+    child_count: Vec<u8>,
     level: Vec<u32>,
     alap: Vec<u32>,
     criticality: Vec<u32>,
@@ -56,16 +62,23 @@ impl GateDag {
         let gates: Vec<CnotGate> = circuit.cnot_gates().to_vec();
         let n = gates.len();
         let qubits = circuit.qubits();
-        let mut parents: Vec<Vec<GateId>> = vec![Vec::new(); n];
-        let mut children: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        let mut parents: Vec<GateId> = vec![0; 2 * n];
+        let mut parent_count = vec![0u8; n];
+        let mut children: Vec<GateId> = vec![0; 2 * n];
+        let mut child_count = vec![0u8; n];
         // Last gate seen on each qubit while scanning in program order.
         let mut last: Vec<Option<GateId>> = vec![None; qubits];
         for (id, g) in gates.iter().enumerate() {
             for q in [g.control, g.target] {
                 if let Some(p) = last[q] {
-                    if !parents[id].contains(&p) {
-                        parents[id].push(p);
-                        children[p].push(id);
+                    // Dedup: both operands may share the same parent.
+                    let pc = usize::from(parent_count[id]);
+                    if pc == 0 || parents[2 * id] != p {
+                        parents[2 * id + pc] = p;
+                        parent_count[id] = u8::try_from(pc + 1).expect("at most 2 parents");
+                        let cc = usize::from(child_count[p]);
+                        children[2 * p + cc] = id;
+                        child_count[p] = u8::try_from(cc + 1).expect("at most 2 children");
                     }
                 }
                 last[q] = Some(id);
@@ -76,7 +89,8 @@ impl GateDag {
         let mut level = vec![0u32; n];
         let mut depth = 0u32;
         for id in 0..n {
-            let l = parents[id].iter().map(|&p| level[p]).max().unwrap_or(0) + 1;
+            let ps = &parents[2 * id..2 * id + usize::from(parent_count[id])];
+            let l = ps.iter().map(|&p| level[p]).max().unwrap_or(0) + 1;
             level[id] = l;
             depth = depth.max(l);
         }
@@ -84,7 +98,8 @@ impl GateDag {
         // Criticality: longest chain from the gate to a sink, inclusive.
         let mut criticality = vec![0u32; n];
         for id in (0..n).rev() {
-            let below = children[id].iter().map(|&c| criticality[c]).max().unwrap_or(0);
+            let cs = &children[2 * id..2 * id + usize::from(child_count[id])];
+            let below = cs.iter().map(|&c| criticality[c]).max().unwrap_or(0);
             criticality[id] = below + 1;
         }
 
@@ -94,7 +109,18 @@ impl GateDag {
             alap[id] = depth - (criticality[id] - 1);
         }
 
-        GateDag { gates, qubits, parents, children, level, alap, criticality, depth }
+        GateDag {
+            gates,
+            qubits,
+            parents,
+            parent_count,
+            children,
+            child_count,
+            level,
+            alap,
+            criticality,
+            depth,
+        }
     }
 
     /// The gates, indexed by [`GateId`].
@@ -140,13 +166,13 @@ impl GateDag {
     /// Immediate predecessors of `id` (at most two).
     #[must_use]
     pub fn parents(&self, id: GateId) -> &[GateId] {
-        &self.parents[id]
+        &self.parents[2 * id..2 * id + usize::from(self.parent_count[id])]
     }
 
     /// Immediate successors of `id` (at most two).
     #[must_use]
     pub fn children(&self, id: GateId) -> &[GateId] {
-        &self.children[id]
+        &self.children[2 * id..2 * id + usize::from(self.child_count[id])]
     }
 
     /// ASAP layer of the gate, 1-based ("Low" in Algorithm Para-Finding).
@@ -170,7 +196,7 @@ impl GateDag {
     /// Gates with no predecessors.
     #[must_use]
     pub fn sources(&self) -> Vec<GateId> {
-        (0..self.len()).filter(|&id| self.parents[id].is_empty()).collect()
+        (0..self.len()).filter(|&id| self.parent_count[id] == 0).collect()
     }
 
     /// Exact number of transitive descendants of every gate ("remaining
@@ -187,7 +213,7 @@ impl GateDag {
             // reading the (strictly later) child rows.
             let (head, tail) = reach.split_at_mut((id + 1) * words);
             let row = &mut head[id * words..];
-            for &c in &self.children[id] {
+            for &c in self.children(id) {
                 debug_assert!(c > id, "children always have larger program order");
                 let crow = &tail[(c - id - 1) * words..(c - id) * words];
                 for (w, &cw) in row.iter_mut().zip(crow) {

@@ -1,10 +1,11 @@
-use super::QasmError;
+use super::{Pos, QasmError};
 
-/// A lexical token with its 1-based source line (for error reporting).
+/// A lexical token with its 1-based source position (for error
+/// reporting and diagnostic spans).
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) struct Token {
     pub kind: TokenKind,
-    pub line: usize,
+    pub pos: Pos,
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -63,12 +64,16 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, QasmError> {
     let bytes = src.as_bytes();
     let mut i = 0;
     let mut line = 1;
+    // Byte offset where the current line starts; col = i − line_start + 1.
+    let mut line_start = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let pos = Pos { line, col: i - line_start + 1 };
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '/' if bytes.get(i + 1) == Some(&b'/') => {
@@ -77,68 +82,68 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, QasmError> {
                 }
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                tokens.push(Token { kind: TokenKind::Semicolon, pos });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token { kind: TokenKind::Comma, pos });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token { kind: TokenKind::LParen, pos });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token { kind: TokenKind::RParen, pos });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, line });
+                tokens.push(Token { kind: TokenKind::LBracket, pos });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, line });
+                tokens.push(Token { kind: TokenKind::RBracket, pos });
                 i += 1;
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, line });
+                tokens.push(Token { kind: TokenKind::LBrace, pos });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, line });
+                tokens.push(Token { kind: TokenKind::RBrace, pos });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, line });
+                tokens.push(Token { kind: TokenKind::Plus, pos });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, line });
+                tokens.push(Token { kind: TokenKind::Star, pos });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, line });
+                tokens.push(Token { kind: TokenKind::Slash, pos });
                 i += 1;
             }
             '^' => {
-                tokens.push(Token { kind: TokenKind::Caret, line });
+                tokens.push(Token { kind: TokenKind::Caret, pos });
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    tokens.push(Token { kind: TokenKind::Arrow, pos });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, line });
+                    tokens.push(Token { kind: TokenKind::Minus, pos });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                    tokens.push(Token { kind: TokenKind::EqEq, pos });
                     i += 2;
                 } else {
-                    return Err(QasmError::new(line, "stray `=` (expected `==`)"));
+                    return Err(QasmError::new(pos, "stray `=` (expected `==`)"));
                 }
             }
             '"' => {
@@ -146,14 +151,14 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, QasmError> {
                 let mut j = start;
                 while j < bytes.len() && bytes[j] != b'"' {
                     if bytes[j] == b'\n' {
-                        return Err(QasmError::new(line, "unterminated string literal"));
+                        return Err(QasmError::new(pos, "unterminated string literal"));
                     }
                     j += 1;
                 }
                 if j == bytes.len() {
-                    return Err(QasmError::new(line, "unterminated string literal"));
+                    return Err(QasmError::new(pos, "unterminated string literal"));
                 }
-                tokens.push(Token { kind: TokenKind::Str(src[start..j].to_string()), line });
+                tokens.push(Token { kind: TokenKind::Str(src[start..j].to_string()), pos });
                 i = j + 1;
             }
             _ if c.is_ascii_digit()
@@ -179,8 +184,8 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, QasmError> {
                 let text = &src[start..j];
                 let value: f64 = text
                     .parse()
-                    .map_err(|_| QasmError::new(line, format!("invalid number `{text}`")))?;
-                tokens.push(Token { kind: TokenKind::Number(value), line });
+                    .map_err(|_| QasmError::new(pos, format!("invalid number `{text}`")))?;
+                tokens.push(Token { kind: TokenKind::Number(value), pos });
                 i = j;
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
@@ -194,11 +199,11 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, QasmError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(src[start..j].to_string()), line });
+                tokens.push(Token { kind: TokenKind::Ident(src[start..j].to_string()), pos });
                 i = j;
             }
             _ => {
-                return Err(QasmError::new(line, format!("unexpected character `{c}`")));
+                return Err(QasmError::new(pos, format!("unexpected character `{c}`")));
             }
         }
     }
@@ -241,8 +246,27 @@ mod tests {
     #[test]
     fn tracks_line_numbers() {
         let toks = lex("a;\nb;").unwrap();
-        assert_eq!(toks[0].line, 1);
-        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[2].pos.line, 2);
+    }
+
+    #[test]
+    fn tracks_columns() {
+        let toks = lex("qreg q[3];\ncx q[0], q[1];").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 }); // qreg
+        assert_eq!(toks[1].pos, Pos { line: 1, col: 6 }); // q
+        assert_eq!(toks[2].pos, Pos { line: 1, col: 7 }); // [
+        assert_eq!(toks[6].pos, Pos { line: 2, col: 1 }); // cx
+        assert_eq!(toks[7].pos, Pos { line: 2, col: 4 }); // q
+    }
+
+    #[test]
+    fn error_positions_carry_columns() {
+        let err = lex("a;\n  = b").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.col(), 3);
+        let err = lex("ok \u{7f}").unwrap_err();
+        assert_eq!(err.col(), 4);
     }
 
     #[test]

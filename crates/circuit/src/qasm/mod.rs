@@ -52,22 +52,47 @@ pub use writer::to_qasm;
 use std::error::Error;
 use std::fmt;
 
+/// A 1-based line/column position in QASM source.
+///
+/// `col` 0 means "column unknown" — e.g. an end-of-input error past the
+/// last token. `From<usize>` builds a column-less position from a bare
+/// line number, so error sites that only track lines keep working.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column, 0 when unknown.
+    pub col: usize,
+}
+
+impl From<usize> for Pos {
+    fn from(line: usize) -> Self {
+        Pos { line, col: 0 }
+    }
+}
+
 /// Error raised while parsing OpenQASM source.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QasmError {
-    line: usize,
+    pos: Pos,
     message: String,
 }
 
 impl QasmError {
-    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
-        QasmError { line, message: message.into() }
+    pub(crate) fn new(pos: impl Into<Pos>, message: impl Into<String>) -> Self {
+        QasmError { pos: pos.into(), message: message.into() }
     }
 
     /// 1-based source line where the error was detected.
     #[must_use]
     pub fn line(&self) -> usize {
-        self.line
+        self.pos.line
+    }
+
+    /// 1-based column where the error was detected, 0 when unknown.
+    #[must_use]
+    pub fn col(&self) -> usize {
+        self.pos.col
     }
 
     /// Human-readable description of the problem.
@@ -79,7 +104,11 @@ impl QasmError {
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(f, "qasm parse error at line {}", self.pos.line)?;
+        if self.pos.col > 0 {
+            write!(f, ", col {}", self.pos.col)?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 

@@ -2,7 +2,7 @@ use std::collections::HashMap;
 use std::f64::consts::PI;
 
 use super::lex::{lex, Token, TokenKind};
-use super::QasmError;
+use super::{Pos, QasmError};
 use crate::circuit::{Circuit, SingleGate};
 
 /// Parses OpenQASM 2.0 source into a [`Circuit`].
@@ -54,16 +54,16 @@ enum UnaryFunc {
 }
 
 impl Expr {
-    fn eval(&self, env: &HashMap<String, f64>, line: usize) -> Result<f64, QasmError> {
+    fn eval(&self, env: &HashMap<String, f64>, pos: Pos) -> Result<f64, QasmError> {
         Ok(match self {
             Expr::Num(v) => *v,
             Expr::Pi => PI,
             Expr::Param(name) => *env
                 .get(name)
-                .ok_or_else(|| QasmError::new(line, format!("unknown parameter `{name}`")))?,
-            Expr::Neg(e) => -e.eval(env, line)?,
+                .ok_or_else(|| QasmError::new(pos, format!("unknown parameter `{name}`")))?,
+            Expr::Neg(e) => -e.eval(env, pos)?,
             Expr::Bin(op, a, b) => {
-                let (a, b) = (a.eval(env, line)?, b.eval(env, line)?);
+                let (a, b) = (a.eval(env, pos)?, b.eval(env, pos)?);
                 match op {
                     BinOp::Add => a + b,
                     BinOp::Sub => a - b,
@@ -73,7 +73,7 @@ impl Expr {
                 }
             }
             Expr::Func(f, e) => {
-                let v = e.eval(env, line)?;
+                let v = e.eval(env, pos)?;
                 match f {
                     UnaryFunc::Sin => v.sin(),
                     UnaryFunc::Cos => v.cos(),
@@ -92,7 +92,7 @@ impl Expr {
 #[derive(Clone, Debug)]
 struct BodyCall {
     name: String,
-    line: usize,
+    pos: Pos,
     params: Vec<Expr>,
     qargs: Vec<String>,
 }
@@ -108,7 +108,7 @@ struct GateDef {
 #[derive(Clone, Debug)]
 struct QubitArg {
     indices: Vec<usize>,
-    line: usize,
+    pos: Pos,
 }
 
 struct Parser {
@@ -149,8 +149,11 @@ impl Parser {
         self.tokens.get(self.pos).map(|t| &t.kind)
     }
 
-    fn line(&self) -> usize {
-        self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))).map_or(0, |t| t.line)
+    /// Position of the current token (or the last one, at end of input).
+    fn cur_pos(&self) -> Pos {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(Pos { line: 0, col: 0 }, |t| t.pos)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -161,49 +164,48 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, kind: &TokenKind) -> Result<usize, QasmError> {
-        let line = self.line();
+    fn expect(&mut self, kind: &TokenKind) -> Result<Pos, QasmError> {
+        let pos = self.cur_pos();
         match self.next() {
-            Some(t) if t.kind == *kind => Ok(t.line),
+            Some(t) if t.kind == *kind => Ok(t.pos),
             Some(t) => Err(QasmError::new(
-                t.line,
+                t.pos,
                 format!("expected {}, found {}", kind.describe(), t.kind.describe()),
             )),
             None => Err(QasmError::new(
-                line,
+                pos,
                 format!("expected {}, found end of input", kind.describe()),
             )),
         }
     }
 
-    fn expect_ident(&mut self) -> Result<(String, usize), QasmError> {
-        let line = self.line();
+    fn expect_ident(&mut self) -> Result<(String, Pos), QasmError> {
+        let pos = self.cur_pos();
         match self.next() {
-            Some(Token { kind: TokenKind::Ident(s), line }) => Ok((s, line)),
+            Some(Token { kind: TokenKind::Ident(s), pos }) => Ok((s, pos)),
             Some(t) => Err(QasmError::new(
-                t.line,
+                t.pos,
                 format!("expected identifier, found {}", t.kind.describe()),
             )),
-            None => Err(QasmError::new(line, "expected identifier, found end of input")),
+            None => Err(QasmError::new(pos, "expected identifier, found end of input")),
         }
     }
 
-    fn expect_uint(&mut self) -> Result<(usize, usize), QasmError> {
-        let line = self.line();
+    fn expect_uint(&mut self) -> Result<(usize, Pos), QasmError> {
+        let pos = self.cur_pos();
         match self.next() {
-            Some(Token { kind: TokenKind::Number(v), line }) => {
+            Some(Token { kind: TokenKind::Number(v), pos }) => {
                 if v.fract() == 0.0 && v >= 0.0 {
                     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                    Ok((v as usize, line))
+                    Ok((v as usize, pos))
                 } else {
-                    Err(QasmError::new(line, format!("expected a non-negative integer, found {v}")))
+                    Err(QasmError::new(pos, format!("expected a non-negative integer, found {v}")))
                 }
             }
-            Some(t) => Err(QasmError::new(
-                t.line,
-                format!("expected integer, found {}", t.kind.describe()),
-            )),
-            None => Err(QasmError::new(line, "expected integer, found end of input")),
+            Some(t) => {
+                Err(QasmError::new(t.pos, format!("expected integer, found {}", t.kind.describe())))
+            }
+            None => Err(QasmError::new(pos, "expected integer, found end of input")),
         }
     }
 
@@ -223,18 +225,16 @@ impl Parser {
         if let Some(TokenKind::Ident(id)) = self.peek() {
             if id == "OPENQASM" {
                 self.next();
-                let line = self.line();
+                let pos = self.cur_pos();
                 match self.next() {
-                    Some(Token { kind: TokenKind::Number(v), line }) if (2.0..3.0).contains(&v) => {
-                        let _ = line;
-                    }
-                    Some(Token { kind, line }) => {
+                    Some(Token { kind: TokenKind::Number(v), .. }) if (2.0..3.0).contains(&v) => {}
+                    Some(Token { kind, pos }) => {
                         return Err(QasmError::new(
-                            line,
+                            pos,
                             format!("unsupported OPENQASM version {}", kind.describe()),
                         ))
                     }
-                    None => return Err(QasmError::new(line, "missing OPENQASM version")),
+                    None => return Err(QasmError::new(pos, "missing OPENQASM version")),
                 }
                 self.expect(&TokenKind::Semicolon)?;
             }
@@ -246,20 +246,20 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<(), QasmError> {
-        let (name, line) = self.expect_ident()?;
+        let (name, pos) = self.expect_ident()?;
         match name.as_str() {
             "include" => {
-                let l = self.line();
+                let p = self.cur_pos();
                 match self.next() {
-                    Some(Token { kind: TokenKind::Str(path), line }) => {
+                    Some(Token { kind: TokenKind::Str(path), pos }) => {
                         if path != "qelib1.inc" {
                             return Err(QasmError::new(
-                                line,
+                                pos,
                                 format!("only the built-in \"qelib1.inc\" include is supported, found \"{path}\""),
                             ));
                         }
                     }
-                    _ => return Err(QasmError::new(l, "expected a string after `include`")),
+                    _ => return Err(QasmError::new(p, "expected a string after `include`")),
                 }
                 self.expect(&TokenKind::Semicolon)?;
             }
@@ -270,7 +270,7 @@ impl Parser {
                 self.expect(&TokenKind::RBracket)?;
                 self.expect(&TokenKind::Semicolon)?;
                 if self.qregs.iter().any(|(n, _, _)| *n == reg) {
-                    return Err(QasmError::new(line, format!("duplicate qreg `{reg}`")));
+                    return Err(QasmError::new(pos, format!("duplicate qreg `{reg}`")));
                 }
                 self.qregs.push((reg, self.qubits, size));
                 self.qubits += size;
@@ -289,7 +289,7 @@ impl Parser {
             }
             "gate" => self.gate_def()?,
             "opaque" => {
-                return Err(QasmError::new(line, "`opaque` gates are not supported"));
+                return Err(QasmError::new(pos, "`opaque` gates are not supported"));
             }
             "barrier" => {
                 // Consume (and ignore) the operand list.
@@ -303,9 +303,9 @@ impl Parser {
                 let src = self.qubit_arg()?;
                 self.expect(&TokenKind::Arrow)?;
                 // Classical destination: ident with optional [index].
-                let (creg, cline) = self.expect_ident()?;
+                let (creg, cpos) = self.expect_ident()?;
                 if !self.cregs.contains_key(&creg) {
-                    return Err(QasmError::new(cline, format!("undeclared creg `{creg}`")));
+                    return Err(QasmError::new(cpos, format!("undeclared creg `{creg}`")));
                 }
                 if self.eat(&TokenKind::LBracket) {
                     self.expect_uint()?;
@@ -333,7 +333,7 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 self.statement()?;
             }
-            _ => self.gate_application(name, line)?,
+            _ => self.gate_application(name, pos)?,
         }
         Ok(())
     }
@@ -341,7 +341,7 @@ impl Parser {
     // ---- gate definitions ---------------------------------------------------
 
     fn gate_def(&mut self) -> Result<(), QasmError> {
-        let (name, line) = self.expect_ident()?;
+        let (name, pos) = self.expect_ident()?;
         let mut params = Vec::new();
         if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
             loop {
@@ -364,7 +364,7 @@ impl Parser {
         self.expect(&TokenKind::LBrace)?;
         let mut body = Vec::new();
         while !self.eat(&TokenKind::RBrace) {
-            let (gname, gline) = self.expect_ident()?;
+            let (gname, gpos) = self.expect_ident()?;
             if gname == "barrier" {
                 while self.peek() != Some(&TokenKind::Semicolon) && self.peek().is_some() {
                     self.next();
@@ -373,7 +373,7 @@ impl Parser {
                 continue;
             }
             let mut call =
-                BodyCall { name: gname, line: gline, params: Vec::new(), qargs: Vec::new() };
+                BodyCall { name: gname, pos: gpos, params: Vec::new(), qargs: Vec::new() };
             if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
                 loop {
                     call.params.push(self.expr()?);
@@ -384,10 +384,10 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
             }
             loop {
-                let (q, qline) = self.expect_ident()?;
+                let (q, qpos) = self.expect_ident()?;
                 if !qargs.contains(&q) {
                     return Err(QasmError::new(
-                        qline,
+                        qpos,
                         format!("`{q}` is not a formal qubit argument of gate `{name}`"),
                     ));
                 }
@@ -400,7 +400,7 @@ impl Parser {
             body.push(call);
         }
         if self.defs.contains_key(&name) {
-            return Err(QasmError::new(line, format!("duplicate gate definition `{name}`")));
+            return Err(QasmError::new(pos, format!("duplicate gate definition `{name}`")));
         }
         self.defs.insert(name, GateDef { params, qargs, body });
         Ok(())
@@ -408,7 +408,7 @@ impl Parser {
 
     // ---- applications ---------------------------------------------------------
 
-    fn gate_application(&mut self, name: String, line: usize) -> Result<(), QasmError> {
+    fn gate_application(&mut self, name: String, pos: Pos) -> Result<(), QasmError> {
         let mut params = Vec::new();
         if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
             loop {
@@ -422,7 +422,7 @@ impl Parser {
         let env = HashMap::new();
         let mut values = Vec::with_capacity(params.len());
         for p in &params {
-            values.push(p.eval(&env, line)?);
+            values.push(p.eval(&env, pos)?);
         }
         let mut args = Vec::new();
         loop {
@@ -439,7 +439,7 @@ impl Parser {
         for a in &args {
             if a.indices.len() != 1 && a.indices.len() != broadcast {
                 return Err(QasmError::new(
-                    a.line,
+                    a.pos,
                     format!(
                         "broadcast size mismatch: register of size {} vs {}",
                         a.indices.len(),
@@ -453,7 +453,7 @@ impl Parser {
                 .iter()
                 .map(|a| if a.indices.len() == 1 { a.indices[0] } else { a.indices[k] })
                 .collect();
-            self.apply(&name, line, &values, &qubits, 0)?;
+            self.apply(&name, pos, &values, &qubits, 0)?;
         }
         Ok(())
     }
@@ -461,20 +461,20 @@ impl Parser {
     fn apply(
         &mut self,
         name: &str,
-        line: usize,
+        pos: Pos,
         params: &[f64],
         qubits: &[usize],
         depth: usize,
     ) -> Result<(), QasmError> {
         if depth > MAX_EXPANSION_DEPTH {
             return Err(QasmError::new(
-                line,
+                pos,
                 format!("gate `{name}` expansion recurses too deeply"),
             ));
         }
         let arity_err = |want_p: usize, want_q: usize| {
             QasmError::new(
-                line,
+                pos,
                 format!(
                     "gate `{name}` expects {want_p} parameter(s) and {want_q} qubit(s), got {} and {}",
                     params.len(),
@@ -494,7 +494,7 @@ impl Parser {
                 for b in &qs[i + 1..] {
                     if a == b {
                         return Err(QasmError::new(
-                            line,
+                            pos,
                             format!("gate `{name}` applied with repeated qubit {a}"),
                         ));
                     }
@@ -673,7 +673,7 @@ impl Parser {
                     .defs
                     .get(name)
                     .cloned()
-                    .ok_or_else(|| QasmError::new(line, format!("unknown gate `{name}`")))?;
+                    .ok_or_else(|| QasmError::new(pos, format!("unknown gate `{name}`")))?;
                 if def.params.len() != params.len() || def.qargs.len() != qubits.len() {
                     return Err(arity_err(def.params.len(), def.qargs.len()));
                 }
@@ -684,10 +684,10 @@ impl Parser {
                 for call in &def.body {
                     let mut vals = Vec::with_capacity(call.params.len());
                     for p in &call.params {
-                        vals.push(p.eval(&env, call.line)?);
+                        vals.push(p.eval(&env, call.pos)?);
                     }
                     let qs: Vec<usize> = call.qargs.iter().map(|q| qmap[q.as_str()]).collect();
-                    self.apply(&call.name, call.line, &vals, &qs, depth + 1)?;
+                    self.apply(&call.name, call.pos, &vals, &qs, depth + 1)?;
                 }
             }
         }
@@ -696,24 +696,24 @@ impl Parser {
 
     /// Parses `reg` or `reg[i]`, resolving to global qubit indices.
     fn qubit_arg(&mut self) -> Result<QubitArg, QasmError> {
-        let (reg, line) = self.expect_ident()?;
+        let (reg, pos) = self.expect_ident()?;
         let &(_, offset, size) = self
             .qregs
             .iter()
             .find(|(n, _, _)| *n == reg)
-            .ok_or_else(|| QasmError::new(line, format!("undeclared qreg `{reg}`")))?;
+            .ok_or_else(|| QasmError::new(pos, format!("undeclared qreg `{reg}`")))?;
         if self.eat(&TokenKind::LBracket) {
-            let (idx, iline) = self.expect_uint()?;
+            let (idx, ipos) = self.expect_uint()?;
             self.expect(&TokenKind::RBracket)?;
             if idx >= size {
                 return Err(QasmError::new(
-                    iline,
+                    ipos,
                     format!("index {idx} out of range for qreg `{reg}[{size}]`"),
                 ));
             }
-            Ok(QubitArg { indices: vec![offset + idx], line })
+            Ok(QubitArg { indices: vec![offset + idx], pos })
         } else {
-            Ok(QubitArg { indices: (offset..offset + size).collect(), line })
+            Ok(QubitArg { indices: (offset..offset + size).collect(), pos })
         }
     }
 
@@ -775,10 +775,10 @@ impl Parser {
     }
 
     fn expr_atom(&mut self) -> Result<Expr, QasmError> {
-        let line = self.line();
+        let pos = self.cur_pos();
         match self.next() {
             Some(Token { kind: TokenKind::Number(v), .. }) => Ok(Expr::Num(v)),
-            Some(Token { kind: TokenKind::Ident(id), line: _ }) => match id.as_str() {
+            Some(Token { kind: TokenKind::Ident(id), .. }) => match id.as_str() {
                 "pi" => Ok(Expr::Pi),
                 "sin" | "cos" | "tan" | "exp" | "ln" | "sqrt" => {
                     self.expect(&TokenKind::LParen)?;
@@ -802,10 +802,10 @@ impl Parser {
                 Ok(inner)
             }
             Some(t) => Err(QasmError::new(
-                t.line,
+                t.pos,
                 format!("expected expression, found {}", t.kind.describe()),
             )),
-            None => Err(QasmError::new(line, "expected expression, found end of input")),
+            None => Err(QasmError::new(pos, "expected expression, found end of input")),
         }
     }
 }
@@ -930,7 +930,24 @@ mod tests {
     fn unknown_gate_errors_with_line() {
         let err = parse(&format!("{HEADER}qreg q[1];\nfrobnicate q[0];\n")).unwrap_err();
         assert_eq!(err.line(), 4);
+        assert_eq!(err.col(), 1);
         assert!(err.message().contains("frobnicate"));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // `q[2]` on line 4: the out-of-range index sits at column 5.
+        let err = parse(&format!("{HEADER}qreg q[2];\nh   q[2];\n")).unwrap_err();
+        assert_eq!(err.line(), 4);
+        assert_eq!(err.col(), 7);
+        // Missing semicolon: the error points at the next token.
+        let err = parse(&format!("{HEADER}qreg q[2];\nh q[0]\ncx q[0], q[1];\n")).unwrap_err();
+        assert_eq!(err.line(), 5);
+        assert_eq!(err.col(), 1);
+        // End-of-input errors keep the last token's line with col 0 never
+        // asserted here (the lexer always has a column for real tokens).
+        let err = parse("OPENQASM 2.0;\nqreg q").unwrap_err();
+        assert_eq!(err.line(), 2);
     }
 
     #[test]

@@ -5,16 +5,16 @@
 //! constraints against the original circuit and chip, so no scheduler can
 //! silently produce an illegal schedule with a flattering cycle count.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
 use ecmas_chip::{Chip, CodeModel};
-use ecmas_circuit::{Circuit, GateId};
+use ecmas_circuit::{Circuit, GateDag, GateId};
 use ecmas_route::{Disjointness, Path};
 
 use crate::cut::CutType;
+use crate::diag::{Code, Diagnostic};
 
 /// What a scheduled event physically does on the chip.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +50,7 @@ pub enum EventKind {
 impl EventKind {
     /// Total latency of the event in clock cycles.
     #[must_use]
+    #[inline]
     pub fn duration(&self) -> u64 {
         match self {
             EventKind::Braid { .. } | EventKind::LatticeCnot { .. } => 1,
@@ -59,6 +60,7 @@ impl EventKind {
 
     /// How many cycles (from the start) the event's path is held.
     #[must_use]
+    #[inline]
     pub fn path_hold(&self) -> u64 {
         match self {
             EventKind::Braid { .. } | EventKind::LatticeCnot { .. } => 1,
@@ -69,6 +71,7 @@ impl EventKind {
 
     /// The event's path, if it uses one.
     #[must_use]
+    #[inline]
     pub fn path(&self) -> Option<&Path> {
         match self {
             EventKind::Braid { path }
@@ -93,6 +96,7 @@ pub struct Event {
 impl Event {
     /// First cycle after the event completes.
     #[must_use]
+    #[inline]
     pub fn end(&self) -> u64 {
         self.start + self.kind.duration()
     }
@@ -221,6 +225,22 @@ pub enum ValidateError {
     WrongModel,
     /// Mapping is malformed (slot out of range, reused, or defective).
     BadMapping,
+    /// Per-cycle per-channel bandwidth conservation violated: more
+    /// concurrent paths through one channel section than the channel has
+    /// lanes. A disabled (bandwidth-0) channel has no lanes at all, so
+    /// any path crossing its seam at a tile row/col trips this.
+    ChannelOversubscribed {
+        /// `true` for a horizontal channel, `false` for a vertical one.
+        horizontal: bool,
+        /// The channel's index within its orientation.
+        channel: usize,
+        /// The first cycle at which usage exceeds capacity.
+        cycle: u64,
+        /// Concurrent paths through the section at that cycle.
+        used: u32,
+        /// The channel's bandwidth (its lane count).
+        capacity: u32,
+    },
 }
 
 impl fmt::Display for ValidateError {
@@ -246,67 +266,125 @@ impl fmt::Display for ValidateError {
             ValidateError::BadMapping => {
                 write!(f, "mapping reuses, overflows, or lands on defective tile slots")
             }
+            ValidateError::ChannelOversubscribed { horizontal, channel, cycle, used, capacity } => {
+                let orient = if horizontal { "h" } else { "v" };
+                write!(
+                    f,
+                    "{orient}-channel {channel} oversubscribed at cycle {cycle}: \
+                     {used} concurrent paths on bandwidth {capacity}"
+                )
+            }
         }
     }
 }
 
 impl Error for ValidateError {}
 
+impl ValidateError {
+    /// The stable diagnostic code this violation reports under.
+    #[must_use]
+    pub fn code(&self) -> Code {
+        match self {
+            ValidateError::GateCoverage { .. } => Code::GateCoverage,
+            ValidateError::DependencyOrder { .. } => Code::DependencyOrder,
+            ValidateError::QubitOverlap { .. } => Code::QubitOverlap,
+            ValidateError::CutTypeRule { .. } => Code::CutTypeRule,
+            ValidateError::MalformedPath { .. } => Code::MalformedPath,
+            ValidateError::PathConflict { .. } => Code::PathConflict,
+            ValidateError::WrongModel => Code::WrongModel,
+            ValidateError::BadMapping => Code::BadMapping,
+            ValidateError::ChannelOversubscribed { .. } => Code::ChannelOversubscribed,
+        }
+    }
+
+    /// This violation as a coded [`Diagnostic`].
+    #[must_use]
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::new(self.code(), self.to_string())
+    }
+}
+
 /// Independently checks every constraint the paper places on an encoded
-/// circuit (§III): complete gate coverage, topological order, per-qubit
-/// exclusivity, cut-type legality of each event kind, structural path
-/// validity, and per-cycle path disjointness (node-disjoint for double
-/// defect, edge-disjoint for lattice surgery).
+/// circuit (§III) and returns **every** violation found: complete gate
+/// coverage, topological order, per-qubit exclusivity, cut-type legality
+/// of each event kind, structural path validity, per-cycle path
+/// disjointness (node-disjoint for double defect, edge-disjoint for
+/// lattice surgery), and per-cycle per-channel bandwidth conservation.
 ///
-/// This validator is shared by the test suites of *every* compiler in the
-/// workspace (Ecmas, Ecmas-ReSu, AutoBraid, EDPCI), so a scheduling bug in
-/// any of them cannot silently produce an illegal schedule with a
-/// flattering cycle count.
-///
-/// # Errors
-///
-/// Returns the first violation found.
+/// The returned order is deterministic and section-major — the first
+/// element is exactly what [`validate_encoded`] (the first-error facade)
+/// reports. Sections run even when earlier ones found violations, except
+/// where a violation makes a later check meaningless (an out-of-range
+/// mapping slot suppresses path-endpoint checks; an unknown gate id
+/// suppresses its dependency and cut-type checks).
+#[must_use]
+pub fn collect_violations(circuit: &Circuit, enc: &EncodedCircuit) -> Vec<ValidateError> {
+    collect_violations_with_dag(circuit, &circuit.dag(), enc)
+}
+
+/// [`collect_violations`] against a pre-built dependency DAG, so callers
+/// that already hold one ([`analyze_encoded`]) don't pay for a rebuild.
 #[allow(clippy::too_many_lines)]
-pub fn validate_encoded(circuit: &Circuit, enc: &EncodedCircuit) -> Result<(), ValidateError> {
+fn collect_violations_with_dag(
+    circuit: &Circuit,
+    dag: &GateDag,
+    enc: &EncodedCircuit,
+) -> Vec<ValidateError> {
+    let mut out = Vec::new();
     let chip = enc.chip();
     let grid = chip.grid();
-    let dag = circuit.dag();
     let n = circuit.qubits();
 
-    // Mapping sanity.
-    if enc.mapping().len() != n {
-        return Err(ValidateError::BadMapping);
-    }
+    // Mapping sanity. One violation covers the whole mapping — but keep
+    // scanning to learn whether every slot is at least in range, which
+    // gates the mapping-dependent checks below.
     let mut used = vec![false; chip.tile_slots()];
+    let mut map_bad = enc.mapping().len() != n;
+    let mut slots_in_range = true;
     for &slot in enc.mapping() {
-        if slot >= used.len() || used[slot] || chip.is_dead(slot) {
-            return Err(ValidateError::BadMapping);
+        if slot >= used.len() {
+            map_bad = true;
+            slots_in_range = false;
+        } else {
+            if used[slot] || chip.is_dead(slot) {
+                map_bad = true;
+            }
+            used[slot] = true;
         }
-        used[slot] = true;
     }
-    let mapped_cells: std::collections::HashSet<usize> =
-        enc.mapping().iter().map(|&s| grid.tile_cell(s)).collect();
+    if map_bad {
+        out.push(ValidateError::BadMapping);
+    }
+    let mut mapped_cells = vec![false; grid.len()];
+    for &s in enc.mapping() {
+        if s < chip.tile_slots() {
+            mapped_cells[grid.tile_cell(s)] = true;
+        }
+    }
+    // Maps a gate end to its two endpoint tile cells, `None` when the
+    // mapping cannot answer (wrong arity or out-of-range slot — already
+    // reported as BadMapping above).
+    let endpoint_cell = |q: usize| -> Option<usize> {
+        let &slot = enc.mapping().get(q)?;
+        (slot < chip.tile_slots()).then(|| grid.tile_cell(slot))
+    };
 
-    // Gate coverage and per-gate end times.
+    // Gate coverage, per-gate end times, model/event agreement and the
+    // per-qubit busy intervals — one fused pass over the events (the
+    // checks are independent; only dependency order below needs the
+    // completed `end_of` array and so runs as a second pass).
     let mut times = vec![0usize; dag.len()];
     let mut end_of = vec![0u64; dag.len()];
+    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
     for e in enc.events() {
         if let Some(g) = e.gate {
             if g >= dag.len() {
-                return Err(ValidateError::GateCoverage { gate: g, times: usize::MAX });
+                out.push(ValidateError::GateCoverage { gate: g, times: usize::MAX });
+            } else {
+                times[g] += 1;
+                end_of[g] = e.end();
             }
-            times[g] += 1;
-            end_of[g] = e.end();
         }
-    }
-    for (g, &t) in times.iter().enumerate() {
-        if t != 1 {
-            return Err(ValidateError::GateCoverage { gate: g, times: t });
-        }
-    }
-
-    // Model/event agreement.
-    for e in enc.events() {
         let ok = matches!(
             (chip.model(), &e.kind),
             (CodeModel::DoubleDefect, EventKind::Braid { .. })
@@ -315,29 +393,18 @@ pub fn validate_encoded(circuit: &Circuit, enc: &EncodedCircuit) -> Result<(), V
                 | (CodeModel::LatticeSurgery, EventKind::LatticeCnot { .. })
         );
         if !ok {
-            return Err(ValidateError::WrongModel);
+            out.push(ValidateError::WrongModel);
         }
-    }
-
-    // Dependency order.
-    for e in enc.events() {
-        if let Some(g) = e.gate {
-            for &p in dag.parents(g) {
-                if e.start < end_of[p] {
-                    return Err(ValidateError::DependencyOrder { gate: g, parent: p });
-                }
-            }
-        }
-    }
-
-    // Per-qubit exclusivity.
-    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
-    for e in enc.events() {
         match (&e.kind, e.gate) {
             (EventKind::CutModification { qubit }, _) => {
-                intervals[*qubit].push((e.start, e.end()));
+                if let Some(list) = intervals.get_mut(*qubit) {
+                    list.push((e.start, e.end()));
+                } else {
+                    // A modification of a qubit the circuit doesn't have.
+                    out.push(ValidateError::WrongModel);
+                }
             }
-            (_, Some(g)) => {
+            (_, Some(g)) if g < dag.len() => {
                 let gate = dag.gate(g);
                 intervals[gate.control].push((e.start, e.end()));
                 intervals[gate.target].push((e.start, e.end()));
@@ -345,123 +412,479 @@ pub fn validate_encoded(circuit: &Circuit, enc: &EncodedCircuit) -> Result<(), V
             _ => {}
         }
     }
+    for (g, &t) in times.iter().enumerate() {
+        if t != 1 {
+            out.push(ValidateError::GateCoverage { gate: g, times: t });
+        }
+    }
+
+    // Dependency order.
+    for e in enc.events() {
+        if let Some(g) = e.gate {
+            if g >= dag.len() {
+                continue;
+            }
+            for &p in dag.parents(g) {
+                if e.start < end_of[p] {
+                    out.push(ValidateError::DependencyOrder { gate: g, parent: p });
+                }
+            }
+        }
+    }
+
+    // Per-qubit exclusivity.
     for (q, list) in intervals.iter_mut().enumerate() {
         list.sort_unstable();
         for w in list.windows(2) {
             if w[1].0 < w[0].1 {
-                return Err(ValidateError::QubitOverlap { qubit: q });
+                out.push(ValidateError::QubitOverlap { qubit: q });
             }
         }
     }
 
     // Cut-type legality over time (double defect only).
     if chip.model() == CodeModel::DoubleDefect {
-        let Some(init) = enc.initial_cuts() else {
-            return Err(ValidateError::WrongModel);
-        };
-        if init.len() != n {
-            return Err(ValidateError::WrongModel);
-        }
-        // Replay events in start order, flipping cuts when modifications
-        // complete. Per-qubit exclusivity (already checked) guarantees no
-        // gate overlaps a modification on the same qubit.
-        let mut cuts = init.to_vec();
-        let mut ordered: Vec<&Event> = enc.events().iter().collect();
-        ordered.sort_by_key(|e| e.start);
-        // Pending flips: (completion cycle, qubit).
-        let mut flips: Vec<(u64, usize)> = Vec::new();
-        for e in &ordered {
-            flips.sort_unstable();
-            let due: Vec<usize> =
-                flips.iter().filter(|&&(t, _)| t <= e.start).map(|&(_, q)| q).collect();
-            flips.retain(|&(t, _)| t > e.start);
-            for q in due {
-                cuts[q] = cuts[q].flipped();
-            }
-            match (&e.kind, e.gate) {
-                (EventKind::CutModification { qubit }, _) => flips.push((e.end(), *qubit)),
-                (EventKind::Braid { .. }, Some(g)) => {
-                    let gate = dag.gate(g);
-                    if cuts[gate.control] == cuts[gate.target] {
-                        return Err(ValidateError::CutTypeRule { gate: g });
+        match enc.initial_cuts() {
+            Some(init) if init.len() == n => {
+                // Replay events in start order, flipping cuts when
+                // modifications complete. Per-qubit exclusivity (already
+                // checked) guarantees no gate overlaps a modification on
+                // the same qubit.
+                let mut cuts = init.to_vec();
+                let mut ordered: Vec<&Event> = enc.events().iter().collect();
+                ordered.sort_by_key(|e| e.start);
+                // Pending flips: (completion cycle, qubit).
+                let mut flips: Vec<(u64, usize)> = Vec::new();
+                for e in &ordered {
+                    flips.sort_unstable();
+                    let due: Vec<usize> =
+                        flips.iter().filter(|&&(t, _)| t <= e.start).map(|&(_, q)| q).collect();
+                    flips.retain(|&(t, _)| t > e.start);
+                    for q in due {
+                        cuts[q] = cuts[q].flipped();
+                    }
+                    match (&e.kind, e.gate) {
+                        (EventKind::CutModification { qubit }, _) if *qubit < n => {
+                            flips.push((e.end(), *qubit));
+                        }
+                        (EventKind::Braid { .. }, Some(g)) if g < dag.len() => {
+                            let gate = dag.gate(g);
+                            if cuts[gate.control] == cuts[gate.target] {
+                                out.push(ValidateError::CutTypeRule { gate: g });
+                            }
+                        }
+                        (EventKind::DirectSameCut { .. }, Some(g)) if g < dag.len() => {
+                            let gate = dag.gate(g);
+                            if cuts[gate.control] != cuts[gate.target] {
+                                out.push(ValidateError::CutTypeRule { gate: g });
+                            }
+                        }
+                        _ => {}
                     }
                 }
-                (EventKind::DirectSameCut { .. }, Some(g)) => {
-                    let gate = dag.gate(g);
-                    if cuts[gate.control] != cuts[gate.target] {
-                        return Err(ValidateError::CutTypeRule { gate: g });
-                    }
-                }
-                _ => {}
             }
+            _ => out.push(ValidateError::WrongModel),
         }
     }
 
-    // Structural path validity.
+    // Structural path validity (one violation per offending path).
     for e in enc.events() {
         let Some(path) = e.kind.path() else { continue };
-        let g = e.gate.ok_or(ValidateError::WrongModel)?;
-        let gate = dag.gate(g);
+        let Some(g) = e.gate else {
+            out.push(ValidateError::WrongModel);
+            continue;
+        };
         let cells = path.cells();
         if cells.len() < 2 {
-            return Err(ValidateError::MalformedPath { gate: g });
+            out.push(ValidateError::MalformedPath { gate: g });
+            continue;
         }
-        let want_a = grid.tile_cell(enc.mapping()[gate.control]);
-        let want_b = grid.tile_cell(enc.mapping()[gate.target]);
-        let (first, last) = (cells[0], cells[cells.len() - 1]);
-        if !((first == want_a && last == want_b) || (first == want_b && last == want_a)) {
-            return Err(ValidateError::MalformedPath { gate: g });
-        }
-        for w in cells.windows(2) {
-            if grid.manhattan(w[0], w[1]) != 1 {
-                return Err(ValidateError::MalformedPath { gate: g });
+        if g < dag.len() && slots_in_range {
+            let gate = dag.gate(g);
+            let (want_a, want_b) = (endpoint_cell(gate.control), endpoint_cell(gate.target));
+            let (first, last) = (Some(cells[0]), Some(cells[cells.len() - 1]));
+            if want_a.is_some()
+                && want_b.is_some()
+                && !((first == want_a && last == want_b) || (first == want_b && last == want_a))
+            {
+                out.push(ValidateError::MalformedPath { gate: g });
+                continue;
             }
         }
-        // No step of any path may touch a defective tile's cell.
-        if cells.iter().any(|&c| grid.is_dead(c)) {
-            return Err(ValidateError::MalformedPath { gate: g });
-        }
-        for &c in path.interior() {
-            if mapped_cells.contains(&c) {
-                return Err(ValidateError::MalformedPath { gate: g });
+        // One fused pass: every cell in range and off defective tiles, no
+        // interior cell on a mapped slot, and unit-step adjacency — the
+        // latter via index arithmetic (grid-adjacent ⇔ indices differ by
+        // `cols`, or by 1 without wrapping a row boundary).
+        let cols = grid.cols();
+        let last = cells.len() - 1;
+        let mut prev = None;
+        let mut malformed = false;
+        for (i, &c) in cells.iter().enumerate() {
+            if c >= grid.len() || grid.is_dead(c) || (i != 0 && i != last && mapped_cells[c]) {
+                malformed = true;
+                break;
             }
+            if let Some(p) = prev {
+                let (lo, hi) = if p < c { (p, c) } else { (c, p) };
+                let d = hi - lo;
+                if d != cols && (d != 1 || lo % cols == cols - 1) {
+                    malformed = true;
+                    break;
+                }
+            }
+            prev = Some(c);
+        }
+        if malformed {
+            out.push(ValidateError::MalformedPath { gate: g });
         }
     }
 
-    // Spatial disjointness via per-resource interval sweep.
+    // Spatial disjointness (E008) and per-cycle per-channel bandwidth
+    // conservation (E009), fused into a single start-ordered sweep over
+    // the path cells — the hottest part of the validator.
     let mode = match chip.model() {
         CodeModel::DoubleDefect => Disjointness::Node,
         CodeModel::LatticeSurgery => Disjointness::Edge,
     };
-    let mut by_resource: HashMap<(usize, usize), Vec<(u64, u64)>> = HashMap::new();
-    for e in enc.events() {
+    let mut order: Vec<usize> = (0..enc.events().len()).collect();
+    order.sort_unstable_by_key(|&i| (enc.events()[i].start, i));
+    sweep_spatial_conflicts(enc, mode, &order, &mut out);
+
+    out
+}
+
+/// The fused spatial sweep behind [`collect_violations`]' E008/E009
+/// sections: one start-ordered pass over every path's cells checks both
+/// pairwise disjointness (node-disjoint in double defect, edge-disjoint
+/// in lattice surgery — a window starting before a prior window on the
+/// same cell/lattice-edge ends is an `E008` conflict) and the per-cycle
+/// per-channel bandwidth conservation laws (`E009`), all of which hold
+/// for every schedule the routers in this workspace emit (see
+/// EXPERIMENTS.md for the calibration against real schedules):
+///
+/// 1. **Seam crossings** (both modes): a step between two tile rows or
+///    two tile cols crosses a disabled channel outside any perpendicular
+///    lane — capacity 0, always a violation.
+/// 2. **Cross-section occupancy** (node mode): the paths concurrently
+///    occupying cells of channel `ch` at cross-coordinate `x` may not
+///    exceed `bandwidth(ch)` — there are only that many lane rows/cols.
+/// 3. **Along-channel flux** (edge mode): the paths concurrently moving
+///    *along* channel `ch` across the lane-internal boundary at `x`
+///    may not exceed `bandwidth(ch)`. (Cross-section occupancy is not
+///    a law in edge mode: the EDPC crossing construction legally stacks
+///    a crossing path on top of every lane at one coordinate.)
+///
+/// Paths with out-of-range cells (already reported as `E007`
+/// MalformedPath by the structural section) are skipped entirely.
+fn sweep_spatial_conflicts(
+    enc: &EncodedCircuit,
+    mode: Disjointness,
+    order: &[usize],
+    out: &mut Vec<ValidateError>,
+) {
+    let chip = enc.chip();
+    let grid = chip.grid();
+
+    // Disjointness state: latest occupancy end per resource (cell in
+    // node mode, lattice edge in edge mode). Edge ids: 2·cell for the
+    // step toward `cell + 1`, 2·cell + 1 for the step toward
+    // `cell + cols` (non-adjacent steps of malformed paths collapse onto
+    // these ids harmlessly).
+    let resource_count = match mode {
+        Disjointness::Node => grid.len(),
+        Disjointness::Edge => 2 * grid.len(),
+    };
+    let mut occupied_until = vec![0u64; resource_count];
+
+    // Hoisted per-row/col lookup tables: the sweep below visits every
+    // path cell, and the grid accessors each cost a bounds check plus an
+    // Option load — flattening them makes the inner loops pure array
+    // arithmetic. (`step_allowed` is exactly a seam-array + channel-array
+    // lookup, so the seam law folds into the same walk for free.)
+    let (rows, cols) = (grid.rows(), grid.cols());
+    let h_ch: Vec<Option<usize>> = (0..rows).map(|r| grid.h_channel_of_row(r)).collect();
+    let v_ch: Vec<Option<usize>> = (0..cols).map(|c| grid.v_channel_of_col(c)).collect();
+    let h_blocked: Vec<bool> = (0..rows).map(|r| grid.h_seam_blocked(r)).collect();
+    let v_blocked: Vec<bool> = (0..cols).map(|c| grid.v_seam_blocked(c)).collect();
+
+    // Section keys are (horizontal, channel, cross-coordinate),
+    // dense-indexed so each lives in a flat array with a precomputed
+    // capacity; each path contributes one window per section it touches
+    // (stamp-deduplicated, so a path snaking within one section still
+    // counts once). Events arrive in start order, so per section it
+    // suffices to keep the active windows' end cycles: prune the expired
+    // ones, add the new window, and the section is oversubscribed the
+    // moment more than `bandwidth` remain. Each section reports at most
+    // once (the first violating cycle).
+    let h_sections = (chip.tile_rows() + 1) * cols;
+    let v_sections = (chip.tile_cols() + 1) * rows;
+    let cap: Vec<u32> = (0..h_sections + v_sections)
+        .map(|s| {
+            if s < h_sections {
+                chip.h_bandwidth(s / cols)
+            } else {
+                chip.v_bandwidth((s - h_sections) / rows)
+            }
+        })
+        .collect();
+    let mut active: Vec<Vec<u64>> = vec![Vec::new(); h_sections + v_sections];
+    let mut reported = vec![false; h_sections + v_sections];
+    let mut seen = vec![0u32; h_sections + v_sections];
+    let mut stamp = 0u32;
+    let mut touched: Vec<usize> = Vec::new();
+    for &i in order {
+        let e = &enc.events()[i];
         let Some(path) = e.kind.path() else { continue };
-        let hold = e.kind.path_hold();
-        let window = (e.start, e.start + hold);
-        match mode {
-            Disjointness::Node => {
-                for &c in path.interior() {
-                    by_resource.entry((c, c)).or_default().push(window);
+        let cells = path.cells();
+        // Out-of-range cells were already reported as MalformedPath by
+        // the structural section; skip the whole path rather than index
+        // the tables with garbage.
+        if cells.iter().any(|&c| c >= grid.len()) {
+            continue;
+        }
+        let (start, end) = (e.start, e.start + e.kind.path_hold());
+        stamp += 1;
+        touched.clear();
+        // Unit-step walk: the seam law (1) for both modes, the E008
+        // resource claims, the along-channel flux sections (3) in edge
+        // mode and the cross-section occupancy cells (2) in node mode —
+        // coordinates carried forward so each cell is div/mod-decomposed
+        // exactly once.
+        let Some((&first, rest)) = cells.split_first() else { continue };
+        let last_idx = cells.len() - 1;
+        let (mut prev, mut r0, mut c0) = (first, first / cols, first % cols);
+        if matches!(mode, Disjointness::Node) {
+            // The first cell's sections (the walk below covers the rest).
+            if let Some(ch) = h_ch[r0] {
+                let s = ch * cols + c0;
+                if seen[s] != stamp {
+                    seen[s] = stamp;
+                    touched.push(s);
                 }
             }
-            Disjointness::Edge => {
-                for w in path.cells().windows(2) {
-                    let key = (w[0].min(w[1]), w[0].max(w[1]));
-                    by_resource.entry(key).or_default().push(window);
+            if let Some(ch) = v_ch[c0] {
+                let s = h_sections + ch * rows + r0;
+                if seen[s] != stamp {
+                    seen[s] = stamp;
+                    touched.push(s);
                 }
+            }
+        }
+        for (k, &cell) in rest.iter().enumerate() {
+            let (r1, c1) = (cell / cols, cell % cols);
+            if r0 == r1 {
+                let cl = c0.min(c1);
+                if c0.abs_diff(c1) == 1 && v_blocked[cl] && h_ch[r0].is_none() {
+                    // Crossing the disabled v-channel between two tile
+                    // cols: that channel's index is the lower tile col's
+                    // index + 1.
+                    out.push(ValidateError::ChannelOversubscribed {
+                        horizontal: false,
+                        channel: grid.tile_col_index(cl).map_or(0, |tc| tc + 1),
+                        cycle: start,
+                        used: 1,
+                        capacity: 0,
+                    });
+                }
+                if matches!(mode, Disjointness::Edge) {
+                    if let Some(ch) = h_ch[r0] {
+                        let s = ch * cols + cl;
+                        if seen[s] != stamp {
+                            seen[s] = stamp;
+                            touched.push(s);
+                        }
+                    }
+                }
+            } else {
+                let rl = r0.min(r1);
+                if c0 == c1 && r0.abs_diff(r1) == 1 && h_blocked[rl] && v_ch[c0].is_none() {
+                    out.push(ValidateError::ChannelOversubscribed {
+                        horizontal: true,
+                        channel: grid.tile_row_index(rl).map_or(0, |tr| tr + 1),
+                        cycle: start,
+                        used: 1,
+                        capacity: 0,
+                    });
+                }
+                if matches!(mode, Disjointness::Edge) {
+                    if let Some(ch) = v_ch[c0] {
+                        let s = h_sections + ch * rows + rl;
+                        if seen[s] != stamp {
+                            seen[s] = stamp;
+                            touched.push(s);
+                        }
+                    }
+                }
+            }
+            match mode {
+                Disjointness::Edge => {
+                    // Claim the lattice edge under this step.
+                    let (a, b) = (prev.min(cell), prev.max(cell));
+                    let id = 2 * a + usize::from(b != a + 1);
+                    if start < occupied_until[id] {
+                        out.push(ValidateError::PathConflict { cycle: start });
+                    }
+                    occupied_until[id] = occupied_until[id].max(end);
+                }
+                Disjointness::Node => {
+                    if let Some(ch) = h_ch[r1] {
+                        let s = ch * cols + c1;
+                        if seen[s] != stamp {
+                            seen[s] = stamp;
+                            touched.push(s);
+                        }
+                    }
+                    if let Some(ch) = v_ch[c1] {
+                        let s = h_sections + ch * rows + r1;
+                        if seen[s] != stamp {
+                            seen[s] = stamp;
+                            touched.push(s);
+                        }
+                    }
+                    // Claim interior cells (endpoints are the mapped
+                    // tiles themselves).
+                    if k + 1 != last_idx {
+                        if start < occupied_until[cell] {
+                            out.push(ValidateError::PathConflict { cycle: start });
+                        }
+                        occupied_until[cell] = occupied_until[cell].max(end);
+                    }
+                }
+            }
+            prev = cell;
+            (r0, c0) = (r1, c1);
+        }
+        for &section in &touched {
+            if reported[section] {
+                continue;
+            }
+            let ends = &mut active[section];
+            ends.retain(|&t| t > start);
+            ends.push(end);
+            if ends.len() > cap[section] as usize {
+                reported[section] = true;
+                let (horizontal, channel) = if section < h_sections {
+                    (true, section / cols)
+                } else {
+                    (false, (section - h_sections) / rows)
+                };
+                out.push(ValidateError::ChannelOversubscribed {
+                    horizontal,
+                    channel,
+                    cycle: start,
+                    used: u32::try_from(ends.len()).unwrap_or(u32::MAX),
+                    capacity: cap[section],
+                });
             }
         }
     }
-    for list in by_resource.values_mut() {
-        list.sort_unstable();
-        for w in list.windows(2) {
-            if w[1].0 < w[0].1 {
-                return Err(ValidateError::PathConflict { cycle: w[1].0 });
-            }
-        }
+}
+
+/// First-error facade over [`collect_violations`]: the historical
+/// `validate_encoded` contract every compiler test suite in the
+/// workspace (Ecmas, Ecmas-ReSu, AutoBraid, EDPCI) is written against,
+/// so a scheduling bug in any of them cannot silently produce an
+/// illegal schedule with a flattering cycle count.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_encoded(circuit: &Circuit, enc: &EncodedCircuit) -> Result<(), ValidateError> {
+    match collect_violations(circuit, enc).into_iter().next() {
+        None => Ok(()),
+        Some(first) => Err(first),
+    }
+}
+
+/// Runs every schedule-level analysis: all legality violations as
+/// error-severity [`Diagnostic`]s (via [`collect_violations`]) plus the
+/// idle-bubble (`H001`) and critical-path-slack (`H002`) hints.
+#[must_use]
+pub fn analyze_encoded(circuit: &Circuit, enc: &EncodedCircuit) -> Vec<Diagnostic> {
+    let dag = circuit.dag();
+    let mut out: Vec<Diagnostic> = collect_violations_with_dag(circuit, &dag, enc)
+        .iter()
+        .map(ValidateError::to_diagnostic)
+        .collect();
+    let n = circuit.qubits();
+    let cycles = enc.cycles();
+    if n == 0 || cycles == 0 {
+        return out;
     }
 
-    Ok(())
+    // H001 — idle bubbles: gaps between consecutive busy intervals of
+    // the same qubit (time before a qubit's first event or after its
+    // last is lead-in/lead-out, not a bubble).
+    let mut busy: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    for e in enc.events() {
+        match (&e.kind, e.gate) {
+            (EventKind::CutModification { qubit }, _) => {
+                if let Some(list) = busy.get_mut(*qubit) {
+                    list.push((e.start, e.end()));
+                }
+            }
+            (_, Some(g)) if g < dag.len() => {
+                let gate = dag.gate(g);
+                busy[gate.control].push((e.start, e.end()));
+                busy[gate.target].push((e.start, e.end()));
+            }
+            _ => {}
+        }
+    }
+    let mut bubbles: u64 = 0;
+    let mut bubble_cycles: u64 = 0;
+    let mut busy_cycles: u64 = 0;
+    for list in &mut busy {
+        list.sort_unstable();
+        busy_cycles += list.iter().map(|&(s, e)| e.saturating_sub(s)).sum::<u64>();
+        for w in list.windows(2) {
+            let gap = w[1].0.saturating_sub(w[0].1);
+            if gap > 0 {
+                bubbles += 1;
+                bubble_cycles += gap;
+            }
+        }
+    }
+    if bubbles > 0 {
+        let utilization = 100.0 * busy_cycles as f64 / (n as u64 * cycles) as f64;
+        out.push(Diagnostic::new(
+            Code::IdleBubbles,
+            format!(
+                "{bubbles} idle bubbles totalling {bubble_cycles} qubit-cycles \
+                 (qubit utilization {utilization:.1}%)"
+            ),
+        ));
+    }
+
+    // H002 — critical-path slack: Δ minus the dependency-chain lower
+    // bound, using each gate's actual event duration (1 for unscheduled
+    // gates — the bound stays a lower bound).
+    if !dag.is_empty() {
+        let mut duration = vec![1u64; dag.len()];
+        for e in enc.events() {
+            if let Some(g) = e.gate {
+                if g < dag.len() {
+                    duration[g] = e.kind.duration();
+                }
+            }
+        }
+        let mut earliest_end = vec![0u64; dag.len()];
+        for g in 0..dag.len() {
+            let ready = dag.parents(g).iter().map(|&p| earliest_end[p]).max().unwrap_or(0);
+            earliest_end[g] = ready + duration[g];
+        }
+        let bound = earliest_end.iter().copied().max().unwrap_or(0);
+        let slack = cycles.saturating_sub(bound);
+        out.push(Diagnostic::new(
+            Code::CriticalPathSlack,
+            format!(
+                "critical-path lower bound {bound} cycles, schedule Δ {cycles} \
+                 (slack {slack})"
+            ),
+        ));
+    }
+
+    out
 }
 
 #[cfg(test)]

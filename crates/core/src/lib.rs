@@ -61,6 +61,7 @@
 
 pub mod compiler;
 pub mod cut;
+pub mod diag;
 pub mod encoded;
 pub mod engine;
 pub mod error;
@@ -75,7 +76,11 @@ pub mod viz;
 
 pub use compiler::{ChipFleet, Ecmas, EcmasConfig, FleetSelection};
 pub use cut::{CutInitStrategy, CutType};
-pub use encoded::{validate_encoded, EncodedCircuit, Event, EventKind, ValidateError};
+pub use diag::{diagnostics_to_json, Code, Diagnostic, Severity, Span};
+pub use encoded::{
+    analyze_encoded, collect_violations, validate_encoded, EncodedCircuit, Event, EventKind,
+    ValidateError,
+};
 pub use engine::{schedule_limited, CutPolicy, GateOrder, ScheduleConfig};
 pub use error::CompileError;
 pub use mapping::LocationStrategy;

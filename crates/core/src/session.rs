@@ -55,6 +55,7 @@ pub use ecmas_route::RouterStats;
 
 use crate::compiler::Ecmas;
 use crate::cut::{initialize_cuts, CutType};
+use crate::diag::{diagnostics_to_json, Diagnostic};
 use crate::encoded::EncodedCircuit;
 use crate::engine::{schedule_limited_shared, ScheduleConfig};
 use crate::error::CompileError;
@@ -243,6 +244,11 @@ pub struct CompileReport {
     /// The job's space–time and channel-pressure footprint, computed
     /// deterministically from the schedule and router counters.
     pub resources: ResourceEstimate,
+    /// Findings from the static analyzer, empty unless the caller ran
+    /// an analyze pass (`ecmasc --analyze`, the daemon's analyze mode).
+    /// The analyzer only observes — populating this never changes the
+    /// schedule or its fingerprint.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl CompileReport {
@@ -266,7 +272,7 @@ impl CompileReport {
                 "\"cache\":{{\"source\":\"{}\",\"hits\":{},\"misses\":{},",
                 "\"stage_hits\":{},\"evictions\":{},\"resident_bytes\":{},",
                 "\"coalesced_waits\":{}}},",
-                "\"resources\":{}}}"
+                "\"resources\":{},\"diagnostics\":{}}}"
             ),
             self.algorithm.label(),
             self.cycles,
@@ -297,6 +303,7 @@ impl CompileReport {
             self.cache.resident_bytes,
             self.cache.coalesced_waits,
             self.resources.to_json(),
+            diagnostics_to_json(&self.diagnostics),
         )
     }
 }
@@ -879,6 +886,7 @@ impl<'c> Mapped<'c> {
             cut_modifications: encoded.modification_count(),
             cache: CacheInfo::disabled(),
             resources,
+            diagnostics: Vec::new(),
         };
         Scheduled { outcome: CompileOutcome { encoded, report } }
     }

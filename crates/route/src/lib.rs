@@ -77,19 +77,26 @@
 
 use ecmas_chip::RoutingGrid;
 
-/// The 4-neighborhood of `cell` on a `rows × cols` grid, `None` where
-/// clipped at the boundary — in the fixed up/down/left/right order that
-/// the A* expansion, the reachability flood fill, and the endpoint
-/// region probe must all share: the cache's soundness depends on the
-/// coloring and the search agreeing on adjacency.
+/// The 4-neighborhood of `cell` on `grid`, `None` where clipped at the
+/// boundary or at a disabled-channel seam (crossable only along an open
+/// perpendicular channel's lanes) — in the fixed up/down/left/right
+/// order that the A* expansion, the reachability flood fill, and the
+/// endpoint region probe must all share: the cache's soundness depends
+/// on the coloring and the search agreeing on adjacency. Seam clipping
+/// lives here (not in the availability predicates) for the same reason:
+/// a step across a bandwidth-0 channel at a tile column is not
+/// congestion, it is a non-edge of the grid.
 #[inline]
-fn neighbors4(cell: usize, rows: usize, cols: usize) -> [Option<usize>; 4] {
+fn neighbors4(grid: &RoutingGrid, cell: usize) -> [Option<usize>; 4] {
+    let cols = grid.cols();
     let (r, c) = (cell / cols, cell % cols);
+    let lane_col = grid.v_channel_of_col(c).is_some();
+    let lane_row = grid.h_channel_of_row(r).is_some();
     [
-        (r > 0).then(|| cell - cols),
-        (r + 1 < rows).then(|| cell + cols),
-        (c > 0).then(|| cell - 1),
-        (c + 1 < cols).then(|| cell + 1),
+        (r > 0 && (lane_col || !grid.h_seam_blocked(r - 1))).then(|| cell - cols),
+        (r + 1 < grid.rows() && (lane_col || !grid.h_seam_blocked(r))).then(|| cell + cols),
+        (c > 0 && (lane_row || !grid.v_seam_blocked(c - 1))).then(|| cell - 1),
+        (c + 1 < cols && (lane_row || !grid.v_seam_blocked(c))).then(|| cell + 1),
     ]
 }
 
@@ -221,12 +228,14 @@ impl Path {
 
     /// The cells from source tile cell to destination tile cell inclusive.
     #[must_use]
+    #[inline]
     pub fn cells(&self) -> &[usize] {
         &self.cells
     }
 
     /// The channel cells only (endpoints stripped).
     #[must_use]
+    #[inline]
     pub fn interior(&self) -> &[usize] {
         &self.cells[1..self.cells.len() - 1]
     }
@@ -546,7 +555,6 @@ impl Router {
         let epoch = self.epoch;
         let (to_r, to_c) = self.grid.coords(to);
         let cols = self.grid.cols();
-        let rows = self.grid.rows();
         let manhattan = |cell: usize| -> usize {
             let (r, c) = (cell / cols, cell % cols);
             r.abs_diff(to_r) + c.abs_diff(to_c)
@@ -573,7 +581,7 @@ impl Router {
                     continue; // stale entry: the cell was re-queued with a better g
                 }
                 self.stats.cells_expanded += 1;
-                for next in neighbors4(cur, rows, cols).into_iter().flatten() {
+                for next in neighbors4(&self.grid, cur).into_iter().flatten() {
                     if !self.edge_available(cur, next, cycle) {
                         continue;
                     }
@@ -643,8 +651,6 @@ impl Router {
     /// never trigger it.
     fn recolor(&mut self, cycle: u64) {
         self.region.fill(0);
-        let cols = self.grid.cols();
-        let rows = self.grid.rows();
         let mut queue = std::mem::take(&mut self.region_queue);
         let mut next_region: u32 = 0;
         for start in 0..self.grid.len() {
@@ -658,7 +664,7 @@ impl Router {
             while let Some(cur) = queue.pop() {
                 let cur = cur as usize;
                 self.stats.recolor_cells += 1;
-                for next in neighbors4(cur, rows, cols).into_iter().flatten() {
+                for next in neighbors4(&self.grid, cur).into_iter().flatten() {
                     if self.region[next] != 0
                         || !self.edge_available(cur, next, cycle)
                         || !self.cell_available(next, cycle)
@@ -684,15 +690,18 @@ impl Router {
     /// is usable now already carries a region id — if the endpoint
     /// neighborhoods share no region, the search cannot succeed.
     fn can_reach(&self, from: usize, to: usize, cycle: u64) -> bool {
-        // A direct `from → to` hop has no interior; only the edge matters.
-        if self.grid.manhattan(from, to) == 1 && self.edge_available(from, to, cycle) {
+        // A direct `from → to` hop has no interior; only the edge matters
+        // (and the edge must exist — index-adjacency across a seam is no
+        // edge, so such pairs fall through to the region test).
+        if self.grid.manhattan(from, to) == 1
+            && self.grid.step_allowed(from, to)
+            && self.edge_available(from, to, cycle)
+        {
             return true;
         }
-        let cols = self.grid.cols();
-        let rows = self.grid.rows();
         let adjacent_regions = |cell: usize| -> [u32; 4] {
             let mut out = [0u32; 4];
-            for (slot, next) in out.iter_mut().zip(neighbors4(cell, rows, cols)) {
+            for (slot, next) in out.iter_mut().zip(neighbors4(&self.grid, cell)) {
                 let Some(next) = next else { continue };
                 if self.edge_available(cell, next, cycle) && self.cell_available(next, cycle) {
                     debug_assert!(

@@ -9,7 +9,7 @@
 //!
 //! | op       | fields |
 //! |----------|--------|
-//! | `submit` | a circuit source — `"qasm"` (inline source), `"file"` (path), or `"random"` (`{qubits, depth, parallelism, seed}`) — plus optional `"chip"`, `"model"`, `"deadline_ms"`, `"tag"`, and a defect mask: `"defects"` (explicit `"r,c;r,c"` coordinates) or `"defect_percent"` + `"defect_seed"` (seeded random dead tiles, capped so the circuit still fits) |
+//! | `submit` | a circuit source — `"qasm"` (inline source), `"file"` (path), or `"random"` (`{qubits, depth, parallelism, seed}`) — plus optional `"chip"`, `"model"`, `"deadline_ms"`, `"tag"`, `"analyze"` (run the static analyzer; the result line's report carries the diagnostics), and a defect mask: `"defects"` (explicit `"r,c;r,c"` coordinates) or `"defect_percent"` + `"defect_seed"` (seeded random dead tiles, capped so the circuit still fits) |
 //! | `status` | `"job"` — non-blocking lifecycle probe |
 //! | `cancel` | `"job"` — cooperative cancellation |
 //! | `result` | `"job"` — blocking wait; emits the job's result line now |
@@ -28,15 +28,21 @@
 //! schema), including its per-job `"resources"` estimate; cancelled /
 //! deadline-expired / failed jobs report a `"status"` of `cancelled` /
 //! `deadline` / `error` instead. The `stats` line aggregates the
-//! resource estimates of every completed job in a `"resources"` object.
+//! resource estimates of every completed job in a `"resources"` object
+//! and the analyzer findings of analyze-mode jobs in a `"diagnostics"`
+//! object (`errors`/`warnings`/`hints` counts). A `submit` whose QASM
+//! source fails to parse gets an `error` line carrying a
+//! `"diagnostics"` array with the `E010` finding and its line/column
+//! span.
 
 use std::time::Duration;
 
+use ecmas_analyze::lint_qasm;
 use ecmas_chip::{Chip, ChipError, CodeModel};
 use ecmas_circuit::random::{layered, StressSpec, StressWorkload};
 use ecmas_circuit::Circuit;
-use ecmas_core::para_finding;
 use ecmas_core::session::CompileOutcome;
+use ecmas_core::{diagnostics_to_json, para_finding, Diagnostic, Severity};
 
 use crate::job::{JobError, JobHandle, JobStatus};
 use crate::json::{self, Value};
@@ -167,12 +173,34 @@ impl ResourceTotals {
     }
 }
 
+/// Running analyzer-finding counts over completed analyze-mode jobs,
+/// reported in the `stats` line's `"diagnostics"` object.
+#[derive(Clone, Copy, Debug, Default)]
+struct DiagTotals {
+    errors: u64,
+    warnings: u64,
+    hints: u64,
+}
+
+impl DiagTotals {
+    fn absorb(&mut self, diags: &[Diagnostic]) {
+        for d in diags {
+            match d.severity {
+                Severity::Error => self.errors += 1,
+                Severity::Warning => self.warnings += 1,
+                Severity::Hint => self.hints += 1,
+            }
+        }
+    }
+}
+
 /// The protocol engine: owns the [`CompileService`] and the job registry.
 pub struct Daemon {
     options: DaemonOptions,
     service: CompileService,
     entries: Vec<Entry>,
     totals: ResourceTotals,
+    diag_totals: DiagTotals,
 }
 
 impl Daemon {
@@ -184,6 +212,7 @@ impl Daemon {
             service: CompileService::new(options.service),
             entries: Vec::new(),
             totals: ResourceTotals::default(),
+            diag_totals: DiagTotals::default(),
         }
     }
 
@@ -219,6 +248,7 @@ impl Daemon {
                 Ok(result) => {
                     if let Ok(outcome) = &result {
                         self.totals.absorb(&outcome.report.resources);
+                        self.diag_totals.absorb(&outcome.report.diagnostics);
                     }
                     let entry = &self.entries[index];
                     let (label, line) =
@@ -290,7 +320,7 @@ impl Daemon {
         let tag = request.get("tag").and_then(Value::as_str).map(str::to_string);
         let circuit = match build_circuit(request) {
             Ok(c) => c,
-            Err(message) => return vec![error_line(&message)],
+            Err(e) => return vec![e.into_line()],
         };
         let model = match request.get("model").and_then(Value::as_str) {
             None => self.options.model,
@@ -318,6 +348,9 @@ impl Daemon {
         let mut compile_request = CompileRequest::new(circuit, chip);
         if let Some(ms) = request.get("deadline_ms").and_then(Value::as_u64) {
             compile_request = compile_request.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(analyze) = request.get("analyze").and_then(Value::as_bool) {
+            compile_request = compile_request.with_analyze(analyze);
         }
         match self.service.submit(compile_request) {
             Ok(handle) => {
@@ -437,7 +470,8 @@ impl Daemon {
              \"resident_bytes\":{},\"coalesced_waits\":{},\"entries\":{}}},\
              \"resources\":{{\"jobs\":{},\"logical_qubits\":{},\"cycles\":{},\
              \"space_time_volume\":{},\"stage_cost\":{},\
-             \"peak_channel_utilization_ppm\":{}}}}}",
+             \"peak_channel_utilization_ppm\":{}}},\
+             \"diagnostics\":{{\"errors\":{},\"warnings\":{},\"hints\":{}}}}}",
             self.entries.len(),
             self.service.queued(),
             self.service.workers(),
@@ -454,6 +488,9 @@ impl Daemon {
             self.totals.space_time_volume,
             self.totals.stage_cost,
             self.totals.peak_channel_utilization_ppm,
+            self.diag_totals.errors,
+            self.diag_totals.warnings,
+            self.diag_totals.hints,
         )
     }
 
@@ -467,6 +504,7 @@ impl Daemon {
                 let result = handle.wait();
                 if let Ok(outcome) = &result {
                     self.totals.absorb(&outcome.report.resources);
+                    self.diag_totals.absorb(&outcome.report.diagnostics);
                 }
                 let entry = &self.entries[index];
                 result_line(index, entry.tag.as_deref(), &entry.name, entry.qubits, result)
@@ -572,15 +610,61 @@ fn apply_defect_fields(mut chip: Chip, request: &Value, qubits: usize) -> Result
     Ok(chip)
 }
 
+/// A circuit-construction failure: the message every error line
+/// carries, plus structured analyzer diagnostics when the source was
+/// QASM (an `E010` with the line/column span of the parse failure).
+struct BuildError {
+    message: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl BuildError {
+    fn plain(message: impl Into<String>) -> Self {
+        BuildError { message: message.into(), diagnostics: Vec::new() }
+    }
+
+    /// Renders the protocol `error` line, appending a `"diagnostics"`
+    /// array when structured findings exist.
+    fn into_line(self) -> String {
+        if self.diagnostics.is_empty() {
+            error_line(&self.message)
+        } else {
+            format!(
+                "{{\"op\":\"error\",\"error\":\"{}\",\"diagnostics\":{}}}",
+                json::escape(&self.message),
+                diagnostics_to_json(&self.diagnostics),
+            )
+        }
+    }
+}
+
+impl From<String> for BuildError {
+    fn from(message: String) -> Self {
+        BuildError::plain(message)
+    }
+}
+
+/// Parses QASM through the analyzer front-end so a failure carries its
+/// `E010` diagnostic (with span) alongside the human-readable message.
+fn parse_qasm_source(source: &str, origin: &str) -> Result<Circuit, BuildError> {
+    match lint_qasm(source) {
+        (Some(circuit), _) => Ok(circuit),
+        (None, diagnostics) => {
+            let detail = diagnostics.first().map_or_else(String::new, ToString::to_string);
+            Err(BuildError { message: format!("{origin}: {detail}"), diagnostics })
+        }
+    }
+}
+
 /// Builds the circuit named by a submit request's source field.
-fn build_circuit(request: &Value) -> Result<Circuit, String> {
+fn build_circuit(request: &Value) -> Result<Circuit, BuildError> {
     if let Some(source) = request.get("qasm").and_then(Value::as_str) {
-        return ecmas_circuit::qasm::parse(source).map_err(|e| format!("qasm: {e}"));
+        return parse_qasm_source(source, "qasm");
     }
     if let Some(path) = request.get("file").and_then(Value::as_str) {
-        let source =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        return ecmas_circuit::qasm::parse(&source).map_err(|e| format!("{path}: {e}"));
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| BuildError::plain(format!("cannot read {path}: {e}")))?;
+        return parse_qasm_source(&source, path);
     }
     if let Some(random) = request.get("random") {
         let field = |key: &str| {
@@ -594,14 +678,14 @@ fn build_circuit(request: &Value) -> Result<Circuit, String> {
         let parallelism = field("parallelism")?;
         let seed = random.get("seed").and_then(Value::as_u64).unwrap_or(0);
         if parallelism == 0 || 2 * parallelism > qubits || depth == 0 {
-            return Err(format!(
+            return Err(BuildError::plain(format!(
                 "random source out of range: qubits={qubits} depth={depth} \
                  parallelism={parallelism}"
-            ));
+            )));
         }
         return Ok(layered(qubits, depth, parallelism, seed));
     }
-    Err("submit needs a circuit source: \"qasm\", \"file\", or \"random\"".to_string())
+    Err(BuildError::plain("submit needs a circuit source: \"qasm\", \"file\", or \"random\""))
 }
 
 /// Renders a seeded [`StressWorkload`] as an `ecmasd` input stream:
@@ -871,6 +955,59 @@ mod tests {
             resources.get("peak_channel_utilization_ppm").unwrap().as_u64().unwrap() > 0,
             "routed jobs have a busiest cycle"
         );
+    }
+
+    #[test]
+    fn analyze_mode_fills_report_diagnostics_and_stats() {
+        let mut d = daemon(1);
+        // 6 declared qubits, only 4 used → the analyzer reports W001
+        // (plus schedule hints); without "analyze" the array is empty.
+        let qasm = "OPENQASM 2.0;\\nqreg q[6];\\ncx q[0],q[1];\\ncx q[2],q[3];\\ncx q[1],q[2];\\n";
+        one(d.handle_line(&format!("{{\"op\":\"submit\",\"qasm\":\"{qasm}\"}}")));
+        one(d.handle_line(&format!("{{\"op\":\"submit\",\"qasm\":\"{qasm}\",\"analyze\":true}}")));
+
+        let plain = one(d.handle_line(r#"{"op":"result","job":1}"#));
+        let diags = plain.get("report").unwrap().get("diagnostics").expect("key always present");
+        assert_eq!(diags.as_array().map(<[Value]>::len), Some(0), "no analyze: empty array");
+
+        let analyzed = one(d.handle_line(r#"{"op":"result","job":2}"#));
+        assert_eq!(analyzed.get("status").unwrap().as_str(), Some("done"));
+        let diags = analyzed.get("report").unwrap().get("diagnostics").unwrap();
+        let items = diags.as_array().expect("diagnostics array");
+        let codes: Vec<&str> =
+            items.iter().filter_map(|d| d.get("code").and_then(Value::as_str)).collect();
+        assert!(codes.contains(&"W001"), "unused qubits flagged: {codes:?}");
+        assert!(
+            !items.iter().any(|d| d.get("severity").and_then(Value::as_str) == Some("error")),
+            "a valid compile must carry no error diagnostics"
+        );
+
+        let stats = one(d.handle_line(r#"{"op":"stats"}"#));
+        let totals = stats.get("diagnostics").expect("diagnostics totals object");
+        assert_eq!(totals.get("errors").unwrap().as_u64(), Some(0));
+        assert!(totals.get("warnings").unwrap().as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn malformed_qasm_submit_carries_e010_span() {
+        let mut d = daemon(1);
+        // Line 3, col 7: q[9] is out of range for q[2].
+        let resp = one(d.handle_line(
+            "{\"op\":\"submit\",\"qasm\":\"OPENQASM 2.0;\\nqreg q[2];\\nh   q[9];\\n\"}",
+        ));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("error"));
+        let diags = resp.get("diagnostics").expect("structured qasm diagnostics");
+        let items = diags.as_array().unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].get("code").unwrap().as_str(), Some("E010"));
+        let span = items[0].get("span").expect("span present");
+        assert_eq!(span.get("line").unwrap().as_u64(), Some(3));
+        assert_eq!(span.get("col").unwrap().as_u64(), Some(7));
+        // Lexer garbage reachable from stdin: still a structured error.
+        let resp = one(d.handle_line("{\"op\":\"submit\",\"qasm\":\"qreg q[2]; @\"}"));
+        assert_eq!(resp.get("op").unwrap().as_str(), Some("error"));
+        let items = resp.get("diagnostics").unwrap().as_array().unwrap();
+        assert_eq!(items[0].get("code").unwrap().as_str(), Some("E010"));
     }
 
     #[test]

@@ -37,6 +37,15 @@ impl Value {
         }
     }
 
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The string payload, if this is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

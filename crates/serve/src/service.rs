@@ -61,6 +61,14 @@ pub struct ServiceConfig {
     /// built-in Ecmas pipeline; `0` (the default) disables caching
     /// entirely. Custom compilers always bypass the cache.
     pub cache_bytes: u64,
+    /// Run the static analyzer on every job's result (circuit lints
+    /// plus schedule verification), filling
+    /// [`CompileReport::diagnostics`](ecmas_core::CompileReport). Off by
+    /// default; individual requests can opt in with
+    /// [`CompileRequest::with_analyze`]. Analysis runs after the cache,
+    /// so cached outcomes stay diagnostic-free and hits pay the
+    /// analyzer cost only when asked.
+    pub analyze: bool,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +78,7 @@ impl Default for ServiceConfig {
             queue_capacity: 0,
             backpressure: Backpressure::Block,
             cache_bytes: 0,
+            analyze: false,
         }
     }
 }
@@ -161,6 +170,7 @@ pub struct CompileRequest {
     chip: Chip,
     pipeline: Pipeline,
     deadline: Option<Duration>,
+    analyze: bool,
 }
 
 impl CompileRequest {
@@ -173,6 +183,7 @@ impl CompileRequest {
             chip,
             pipeline: Pipeline::Ecmas { config: EcmasConfig::default(), mode: ScheduleMode::Auto },
             deadline: None,
+            analyze: false,
         }
     }
 
@@ -215,6 +226,22 @@ impl CompileRequest {
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Runs the static analyzer on this job's result: circuit lints
+    /// against the target chip plus full schedule verification and
+    /// metrics, delivered in the report's `diagnostics`. The analyzer
+    /// only observes — the schedule is identical with or without it.
+    #[must_use]
+    pub fn with_analyze(mut self, analyze: bool) -> Self {
+        self.analyze = analyze;
+        self
+    }
+
+    /// Whether this request asked for an analyze pass.
+    #[must_use]
+    pub fn analyze(&self) -> bool {
+        self.analyze
     }
 
     /// The circuit to compile.
@@ -352,27 +379,37 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 struct OwnedJob {
     request: CompileRequest,
     cache: Option<Arc<CompileCache>>,
+    analyze: bool,
 }
 
 impl RunJob for OwnedJob {
     fn run(self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError> {
-        let OwnedJob { request, cache } = self;
-        match request.pipeline {
+        let OwnedJob { request, cache, analyze } = self;
+        let CompileRequest { circuit, chip, pipeline, .. } = request;
+        let mut outcome = match pipeline {
             Pipeline::Ecmas { config, mode } => {
                 if let Some(cache) = cache {
-                    return run_cached(&cache, &request.circuit, &request.chip, config, mode, ctl);
+                    run_cached(&cache, &circuit, &chip, config, mode, ctl)?
+                } else {
+                    run_stages(None, &circuit, &chip, config, mode, ctl)?.0
                 }
-                let (outcome, _) =
-                    run_stages(None, &request.circuit, &request.chip, config, mode, ctl)?;
-                Ok(outcome)
             }
             Pipeline::Custom(compiler) => {
                 // Custom compilers bypass the cache: their identity is an
                 // opaque trait object the content hash cannot see.
                 ctl.checkpoint()?;
-                Ok(compiler.compile_outcome(&request.circuit, &request.chip)?)
+                compiler.compile_outcome(&circuit, &chip)?
             }
+        };
+        if analyze {
+            // After the cache on purpose: cached outcomes stay
+            // diagnostic-free and every analyze-mode response (hit or
+            // miss) carries a freshly computed set.
+            let mut diags = ecmas_analyze::lint_circuit(&circuit, Some(&chip));
+            diags.extend(ecmas_analyze::analyze_encoded(&circuit, &outcome.encoded));
+            outcome.report.diagnostics = diags;
         }
+        Ok(outcome)
     }
 }
 
@@ -511,6 +548,7 @@ fn run_cached(
 pub struct CompileService {
     core: Arc<ServiceCore<OwnedJob>>,
     cache: Option<Arc<CompileCache>>,
+    analyze: bool,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -539,7 +577,7 @@ impl CompileService {
                     .expect("spawn service worker")
             })
             .collect();
-        CompileService { core, cache, workers: handles }
+        CompileService { core, cache, analyze: config.analyze, workers: handles }
     }
 
     /// Submits a request; returns immediately with the job's handle
@@ -551,7 +589,8 @@ impl CompileService {
     /// [`SubmitError::Saturated`] when the queue is full under
     /// [`Backpressure::Reject`].
     pub fn submit(&self, request: CompileRequest) -> Result<JobHandle, SubmitError> {
-        let job = OwnedJob { request, cache: self.cache.clone() };
+        let analyze = self.analyze || request.analyze;
+        let job = OwnedJob { request, cache: self.cache.clone(), analyze };
         match self.core.submit(job.request.deadline, job) {
             Ok(handle) => Ok(handle),
             Err(PushError::Full(OwnedJob { request, .. })) => {

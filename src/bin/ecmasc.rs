@@ -3,10 +3,11 @@
 //!
 //! ```sh
 //! ecmasc program.qasm [--model dd|ls] [--chip min|4x|congested|sufficient]
-//!                     [--defects "1,2;3,0"] [--timeline N] [--json]
+//!                     [--defects "1,2;3,0"] [--timeline N] [--json] [--analyze]
 //! ecmasc program.qasm --fleet min,4x,congested [--model dd|ls] [--json]
+//! ecmasc lint program.qasm [--model dd|ls] [--chip …] [--json]
 //! ecmasc --jobs list.txt [--workers N] [--repeat N] [--cache-mb M]
-//!        [--model …] [--chip …] [--defects …]
+//!        [--model …] [--chip …] [--defects …] [--analyze]
 //! ```
 //!
 //! By default the resource-adaptive pipeline runs (`Ecmas::compile_auto`:
@@ -26,6 +27,16 @@
 //! circuit (`Ecmas::compile_auto_fleet`); it conflicts with `--chip` and
 //! `--defects`, which pin a single target.
 //!
+//! `ecmasc lint <file>` runs the static analyzer without compiling:
+//! QASM parse errors surface as `E010` diagnostics with line/column
+//! spans, and a parsed circuit gets the full circuit-level lint pass
+//! against the `--chip` target (dead qubits, self-cancelling CNOT
+//! pairs, width-vs-capacity, communication-graph structure). The exit
+//! code fails on error-severity findings, so `lint` slots directly
+//! into CI. `--analyze` on a compile run additionally verifies the
+//! schedule and embeds every finding in the report's `"diagnostics"`
+//! array (also printed, one per line, in human mode).
+//!
 //! `--jobs <file>` switches to the service path: every non-blank,
 //! non-`#` line of the file is a QASM path, all of them are submitted to
 //! an `ecmas-serve` `CompileService` (`--workers` threads, one per core
@@ -41,7 +52,8 @@ use std::process::ExitCode;
 use ecmas::serve::daemon::{parse_defect_spec, ChipKind};
 use ecmas::serve::json;
 use ecmas::{
-    validate_encoded, viz, ChipFleet, CompileRequest, CompileService, Ecmas, ServiceConfig,
+    analyze_encoded, diagnostics_to_json, has_errors, lint_circuit, lint_qasm, validate_encoded,
+    viz, ChipFleet, CompileRequest, CompileService, Ecmas, ServiceConfig,
 };
 use ecmas_chip::{Chip, CodeModel};
 use ecmas_circuit::Circuit;
@@ -55,6 +67,8 @@ struct Args {
     timeline: u64,
     json: bool,
     jobs: bool,
+    lint: bool,
+    analyze: bool,
     workers: usize,
     repeat: usize,
     cache_bytes: u64,
@@ -70,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
     let mut timeline = 0;
     let mut json = false;
     let mut jobs = false;
+    let mut lint = false;
+    let mut analyze = false;
     let mut workers = 0usize;
     let mut repeat = 1usize;
     let mut cache_bytes = 0u64;
@@ -116,6 +132,8 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("missing/invalid value for --timeline")?;
             }
             "--json" => json = true,
+            "--analyze" => analyze = true,
+            "lint" if !lint && path.is_none() && !jobs => lint = true,
             "--jobs" => {
                 if path.is_some() {
                     return Err("--jobs conflicts with a positional input file".into());
@@ -147,10 +165,11 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: ecmasc <file.qasm> [--model dd|ls] \
                             [--chip min|4x|congested|sufficient] [--defects \"r,c;r,c\"] \
-                            [--timeline N] [--json] | \
+                            [--timeline N] [--json] [--analyze] | \
                             ecmasc <file.qasm> --fleet min,4x,… [--model …] [--json] | \
+                            ecmasc lint <file.qasm> [--model …] [--chip …] [--json] | \
                             ecmasc --jobs <list.txt> [--workers N] [--repeat N] [--cache-mb M] \
-                            [--model …] [--chip …] [--defects …]"
+                            [--model …] [--chip …] [--defects …] [--analyze]"
                     .into());
             }
             other if path.is_none() && !jobs && !other.starts_with('-') => {
@@ -171,6 +190,12 @@ fn parse_args() -> Result<Args, String> {
             return Err("--fleet conflicts with --jobs".into());
         }
     }
+    if lint && jobs {
+        return Err("lint conflicts with --jobs (lint one file at a time)".into());
+    }
+    if lint && !fleet.is_empty() {
+        return Err("lint conflicts with --fleet (lint targets one chip)".into());
+    }
     Ok(Args {
         path,
         model,
@@ -180,6 +205,8 @@ fn parse_args() -> Result<Args, String> {
         timeline,
         json,
         jobs,
+        lint,
+        analyze,
         workers,
         repeat,
         cache_bytes,
@@ -230,6 +257,42 @@ fn build_chip(args: &Args, circuit: &Circuit) -> Result<Chip, String> {
     }
 }
 
+/// `ecmasc lint`: parse and static-analyze a QASM file without
+/// compiling. Parse failures surface as `E010` diagnostics with
+/// line/column spans; a parsed circuit gets the full circuit-level
+/// lint pass against the `--chip` target. Exits nonzero when any
+/// error-severity diagnostic fires.
+fn run_lint(args: &Args) -> Result<(), String> {
+    let source = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let (circuit, mut diagnostics) = lint_qasm(&source);
+    if let Some(circuit) = &circuit {
+        // Re-lint against the actual `--chip` target so the
+        // width-vs-capacity check (E012) participates; the chip-free
+        // pass from `lint_qasm` is a strict subset of this one.
+        if let Ok(chip) = build_chip(args, circuit) {
+            diagnostics = lint_circuit(circuit, Some(&chip));
+        }
+    }
+    if args.json {
+        println!(
+            "{{\"file\":\"{}\",\"diagnostics\":{}}}",
+            json::escape(&args.path),
+            diagnostics_to_json(&diagnostics)
+        );
+    } else {
+        for d in &diagnostics {
+            println!("{}: {d}", args.path);
+        }
+        let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+        println!("{}: {} diagnostic(s), {} error(s)", args.path, diagnostics.len(), errors);
+    }
+    if has_errors(&diagnostics) {
+        return Err(format!("lint: error-severity diagnostics in {}", args.path));
+    }
+    Ok(())
+}
+
 /// `--jobs`: fan a file of QASM paths through the compile service.
 fn run_jobs(args: &Args) -> Result<(), String> {
     let list = std::fs::read_to_string(&args.path)
@@ -247,7 +310,9 @@ fn run_jobs(args: &Args) -> Result<(), String> {
             let circuit = load_circuit(path)?;
             let chip = build_chip(args, &circuit)?;
             let handle = service
-                .submit(CompileRequest::new(circuit.clone(), chip.clone()))
+                .submit(
+                    CompileRequest::new(circuit.clone(), chip.clone()).with_analyze(args.analyze),
+                )
                 .map_err(|e| e.to_string())?;
             submitted.push((*path, circuit, chip, handle));
         }
@@ -263,6 +328,9 @@ fn run_jobs(args: &Args) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if args.lint {
+        return run_lint(&args);
+    }
     if args.jobs {
         return run_jobs(&args);
     }
@@ -283,7 +351,7 @@ fn run() -> Result<(), String> {
     // cheapest (fewest physical qubits) to priciest, keep the first that
     // compiles. The selected candidate then flows into the same report
     // and summary paths a pinned `--chip` would.
-    let (chip_kind, chip, outcome) = if args.fleet.is_empty() {
+    let (chip_kind, chip, mut outcome) = if args.fleet.is_empty() {
         let chip = build_chip(&args, &circuit)?;
 
         // The resource-adaptive session pipeline: profile, map, then pick
@@ -314,6 +382,14 @@ fn run() -> Result<(), String> {
     };
     validate_encoded(&circuit, &outcome.encoded)
         .map_err(|e| format!("internal: invalid schedule: {e}"))?;
+
+    if args.analyze {
+        // Observe-only: the schedule and its fingerprint are already
+        // final; this just fills the report's diagnostics array.
+        let mut diags = lint_circuit(&circuit, Some(&chip));
+        diags.extend(analyze_encoded(&circuit, &outcome.encoded));
+        outcome.report.diagnostics = diags;
+    }
 
     if args.json {
         println!(
@@ -354,6 +430,9 @@ fn run() -> Result<(), String> {
         report.router.failed_searches,
         report.router.cache_hits,
     );
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
     if args.timeline > 0 {
         print!("{}", viz::render_timeline(&outcome.encoded, args.timeline));
     }

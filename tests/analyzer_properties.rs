@@ -1,0 +1,62 @@
+//! Analyzer soundness property: on any schedule the compilers in this
+//! workspace actually emit, the full analysis pass (circuit lints +
+//! schedule verifier) must report **zero error-severity diagnostics** —
+//! across random circuits, both code models, several chip shapes, defect
+//! masks, and both the fixed and resource-adaptive compile modes. Hints
+//! and warnings are fine (idle bubbles are a fact of life); an error here
+//! means either the compiler emitted an illegal schedule or the analyzer
+//! flags legal ones — both are bugs this test exists to catch.
+
+use ecmas::{analyze_encoded, has_errors, lint_circuit, Ecmas};
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::random;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn compiled_schedules_carry_no_error_diagnostics(
+        n in 4usize..12,
+        depth in 1usize..8,
+        parallelism in 1usize..4,
+        seed in 0u64..10_000,
+        variant in 0usize..24,
+    ) {
+        // One index enumerating (model × chip shape × defect × mode); the
+        // vendored proptest shim caps strategy tuples at six elements.
+        let surgery = variant % 2 == 1;
+        let shape = (variant / 2) % 3;
+        let defect = (variant / 6) % 2 == 1;
+        let auto = (variant / 12) % 2 == 1;
+        let model =
+            if surgery { CodeModel::LatticeSurgery } else { CodeModel::DoubleDefect };
+        let parallelism = parallelism.min(n / 2); // a layer of k CNOTs needs 2k qubits
+        let circuit = random::layered(n, depth, parallelism, seed);
+        let mut chip = match shape {
+            0 => Chip::min_viable(model, n, 3).unwrap(),
+            1 => Chip::four_x(model, n, 3).unwrap(),
+            _ => Chip::congested(model, n, 3).unwrap(),
+        };
+        if defect && chip.live_tiles() > n {
+            // Knock out one tile when there is slack for it; the mapper
+            // must route around it and the analyzer must still be clean.
+            chip = chip.with_defects(&[(0, 0)]).unwrap();
+        }
+        let encoded = if auto {
+            Ecmas::default().compile_auto(&circuit, &chip).unwrap().encoded
+        } else {
+            Ecmas::default().compile(&circuit, &chip).unwrap()
+        };
+        let mut diags = lint_circuit(&circuit, Some(&chip));
+        diags.extend(analyze_encoded(&circuit, &encoded));
+        let errors: Vec<String> =
+            diags.iter().filter(|d| d.is_error()).map(ToString::to_string).collect();
+        prop_assert!(
+            !has_errors(&diags),
+            "{} n={n} depth={depth} pm={parallelism} seed={seed:#x} shape={shape} \
+             defect={defect} auto={auto}: {errors:?}",
+            model.label(),
+        );
+    }
+}

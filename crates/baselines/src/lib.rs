@@ -101,6 +101,8 @@ fn baseline_outcome(
         cache: CacheInfo::disabled(),
         resources,
         diagnostics: Vec::new(),
+        attempts: 1,
+        last_fault: None,
     };
     CompileOutcome { encoded, report }
 }

@@ -150,6 +150,35 @@ fn bench_service_stress(c: &mut Criterion) {
             outcomes.len()
         });
     });
+
+    // The same 100-job mix through the persistent `CompileService` with
+    // the fault-injection/retry/shedding hooks compiled in but disabled
+    // (`faults: None`, shedding off): the hook layer must be near zero-cost
+    // when off, which the bench-compare gate enforces against the
+    // baseline row.
+    c.bench_function("service/stress_100_jobs_faults_off", |b| {
+        b.iter(|| {
+            let service = CompileService::new(ServiceConfig {
+                workers: 4,
+                queue_capacity: 128,
+                ..ServiceConfig::default()
+            });
+            let handles: Vec<_> = circuits
+                .iter()
+                .map(|circuit| {
+                    service
+                        .submit(CompileRequest::new(circuit.clone(), chip.clone()))
+                        .expect("queue holds the whole mix")
+                })
+                .collect();
+            let mut done = 0usize;
+            for handle in handles {
+                handle.wait().expect("stress jobs must all compile");
+                done += 1;
+            }
+            done
+        });
+    });
 }
 
 /// The compile-cache A/B: a 1000-job seeded stress mix where 90% of

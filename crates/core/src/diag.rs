@@ -238,7 +238,7 @@ pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
 
 /// Minimal JSON string escape (mirrors `ecmas_serve::json::escape`,
 /// which this crate cannot depend on without a cycle).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {

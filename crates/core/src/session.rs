@@ -249,6 +249,14 @@ pub struct CompileReport {
     /// The analyzer only observes — populating this never changes the
     /// schedule or its fingerprint.
     pub diagnostics: Vec<Diagnostic>,
+    /// Service attempts this result took (1 = succeeded first try).
+    /// Only the fault-tolerant compile service retries, so direct
+    /// compilation always reports 1. Retried results are bit-identical
+    /// to first-try results in everything but this provenance pair.
+    pub attempts: u32,
+    /// Provenance of the last transient failure the service retried
+    /// away (`None` when the job succeeded on its first attempt).
+    pub last_fault: Option<String>,
 }
 
 impl CompileReport {
@@ -272,7 +280,8 @@ impl CompileReport {
                 "\"cache\":{{\"source\":\"{}\",\"hits\":{},\"misses\":{},",
                 "\"stage_hits\":{},\"evictions\":{},\"resident_bytes\":{},",
                 "\"coalesced_waits\":{}}},",
-                "\"resources\":{},\"diagnostics\":{}}}"
+                "\"resources\":{},\"diagnostics\":{},",
+                "\"attempts\":{},\"last_fault\":{}}}"
             ),
             self.algorithm.label(),
             self.cycles,
@@ -304,6 +313,10 @@ impl CompileReport {
             self.cache.coalesced_waits,
             self.resources.to_json(),
             diagnostics_to_json(&self.diagnostics),
+            self.attempts,
+            self.last_fault
+                .as_deref()
+                .map_or_else(|| "null".to_string(), |f| format!("\"{}\"", crate::diag::escape(f)),),
         )
     }
 }
@@ -887,6 +900,8 @@ impl<'c> Mapped<'c> {
             cache: CacheInfo::disabled(),
             resources,
             diagnostics: Vec::new(),
+            attempts: 1,
+            last_fault: None,
         };
         Scheduled { outcome: CompileOutcome { encoded, report } }
     }

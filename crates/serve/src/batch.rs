@@ -32,7 +32,7 @@ struct BorrowedJob<'a, C: Compiler + Sync + ?Sized> {
 }
 
 impl<C: Compiler + Sync + ?Sized> RunJob for BorrowedJob<'_, C> {
-    fn run(self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError> {
+    fn run(&self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError> {
         ctl.checkpoint()?;
         Ok(self.compiler.compile_outcome(self.circuit, self.chip)?)
     }
@@ -116,7 +116,7 @@ where
         other => unreachable!("batch jobs neither cancel nor expire: {other}"),
     };
     if threads == 1 {
-        let slot = crate::job::Slot::new(None);
+        let slot = crate::job::Slot::new(None, 0);
         let ctl = JobCtl::for_slot(&slot);
         return (0..count).map(|i| make(i).run(&ctl).map_err(unwrap_job_error)).collect();
     }
@@ -127,7 +127,7 @@ where
         }
         let handles: Vec<_> = (0..count)
             .map(|i| {
-                core.submit(None, make(i)).unwrap_or_else(|_| {
+                core.submit(None, 0, make(i)).unwrap_or_else(|_| {
                     unreachable!("blocking backpressure on an open queue cannot refuse")
                 })
             })

@@ -48,6 +48,11 @@ use crate::job::{JobError, JobHandle, JobStatus};
 use crate::json::{self, Value};
 use crate::service::{CompileRequest, CompileService, ServiceConfig, SubmitError};
 
+/// Hard cap on one protocol line: stdin is untrusted, and the daemon
+/// must bound its allocations before parsing. The binary's reader
+/// enforces the same cap without buffering the oversized line.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
 /// The chip families `ecmasc`/`ecmasd` can build per circuit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -263,6 +268,14 @@ impl Daemon {
     /// Handles one input line, returning the response lines to emit.
     /// Blank lines produce no response.
     pub fn handle_line(&mut self, line: &str) -> Vec<String> {
+        if line.len() > MAX_LINE_BYTES {
+            // Refuse before parsing: an unbounded line is an unbounded
+            // allocation, and stdin is untrusted.
+            return vec![error_line(&format!(
+                "line of {} bytes exceeds the {MAX_LINE_BYTES}-byte cap",
+                line.len()
+            ))];
+        }
         let line = line.trim();
         if line.is_empty() {
             return Vec::new();
@@ -280,7 +293,16 @@ impl Daemon {
             "status" => self.status(&request),
             "cancel" => self.cancel(&request),
             "result" => self.result(&request),
-            "drain" => self.drain(),
+            "drain" => {
+                // `{"op":"drain","final":true}` additionally stops
+                // admission for good: the service finishes everything in
+                // flight and later submits get a "service draining"
+                // error. Without the flag, drain only flushes results.
+                if request.get("final").and_then(Value::as_bool).unwrap_or(false) {
+                    self.service.drain();
+                }
+                self.drain()
+            }
             "stats" => vec![self.stats_line()],
             other => vec![error_line(&format!("unknown op {other:?}"))],
         }
@@ -370,6 +392,10 @@ impl Daemon {
                 )]
             }
             Err(SubmitError::Saturated(_)) => vec![error_line("queue saturated")],
+            Err(SubmitError::Overloaded { retry_after_ms, .. }) => vec![format!(
+                "{{\"op\":\"error\",\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms}}}"
+            )],
+            Err(SubmitError::Draining(_)) => vec![error_line("service draining")],
         }
     }
 
@@ -462,12 +488,22 @@ impl Daemon {
         let cache = self.service.cache_stats();
         let enabled = cache.is_some();
         let c = cache.unwrap_or_default();
+        let sup = self.service.supervisor_stats();
+        let faults = self.service.fault_stats();
+        let f = faults.unwrap_or_default();
+        let retries = self.service.retry_stats();
         format!(
             "{{\"op\":\"stats\",\"jobs\":{},\"pending\":{pending},\"done\":{done},\
              \"cancelled\":{cancelled},\"deadline\":{deadline},\"failed\":{failed},\
              \"queued\":{},\"workers\":{},\"cache\":{{\"enabled\":{enabled},\
              \"hits\":{},\"misses\":{},\"stage_hits\":{},\"evictions\":{},\
              \"resident_bytes\":{},\"coalesced_waits\":{},\"entries\":{}}},\
+             \"supervisor\":{{\"workers\":{},\"spawned\":{},\"panics\":{},\
+             \"respawns\":{},\"requeued\":{}}},\
+             \"faults\":{{\"enabled\":{},\"spurious_errors\":{},\"panics\":{},\
+             \"latencies\":{},\"poisoned\":{}}},\
+             \"retries\":{{\"spent\":{},\"budget\":{}}},\
+             \"shed\":{},\"draining\":{},\
              \"resources\":{{\"jobs\":{},\"logical_qubits\":{},\"cycles\":{},\
              \"space_time_volume\":{},\"stage_cost\":{},\
              \"peak_channel_utilization_ppm\":{}}},\
@@ -482,6 +518,20 @@ impl Daemon {
             c.resident_bytes,
             c.coalesced_waits,
             c.entries,
+            sup.workers,
+            sup.spawned,
+            sup.panics,
+            sup.respawns,
+            sup.requeued,
+            faults.is_some(),
+            f.spurious_errors,
+            f.panics,
+            f.latencies,
+            f.poisoned,
+            retries.spent,
+            retries.budget,
+            self.service.shed_count(),
+            self.service.is_draining(),
             self.totals.jobs,
             self.totals.logical_qubits,
             self.totals.cycles,
@@ -554,6 +604,14 @@ fn tag_field(tag: Option<&str>) -> String {
 
 fn error_line(message: &str) -> String {
     format!("{{\"op\":\"error\",\"error\":\"{}\"}}", json::escape(message))
+}
+
+/// The error response the `ecmasd` binary emits for a stdin line it
+/// refused to buffer past [`MAX_LINE_BYTES`] (the line itself was
+/// discarded unread, so [`Daemon::handle_line`] never sees it).
+#[must_use]
+pub fn oversized_line_error() -> String {
+    error_line(&format!("line exceeds the {MAX_LINE_BYTES}-byte cap"))
 }
 
 /// Parses an explicit defect-mask spec: semicolon-separated `row,col`

@@ -70,4 +70,10 @@ pub use batch::{
 };
 pub use job::{JobError, JobHandle, JobId, JobStatus};
 pub use queue::Backpressure;
-pub use service::{CompileRequest, CompileService, ScheduleMode, ServiceConfig, SubmitError};
+pub use service::{
+    CompileRequest, CompileService, RetryStats, ScheduleMode, ServiceConfig, SubmitError,
+    SupervisorStats,
+};
+// Fault-tolerance policy types, re-exported so service callers configure
+// chaos runs without naming the policy crate.
+pub use ecmas_faults::{FaultConfig, FaultSnapshot, RetryConfig};

@@ -26,10 +26,35 @@
 //! allows. Determinism makes this transparent — a cached result is
 //! bit-identical (schedule and report, minus wall-clock timings and the
 //! `report.cache` provenance block) to a cold compile.
+//!
+//! # Fault tolerance
+//!
+//! The service is built to survive production failure modes, and to let
+//! chaos harnesses *prove* it does:
+//!
+//! - **Fault injection** ([`ServiceConfig::faults`]): a seeded
+//!   [`FaultPlan`] from `ecmas-faults` fires at queue admission, cache
+//!   lookup, every stage boundary, and worker pickup. With faults off
+//!   (the default) every hook is an `Option` check on a `None`.
+//! - **Retry** ([`ServiceConfig::retry`]): transient failures (injected
+//!   faults, and panics while a fault plan is active) re-run on the same
+//!   worker with exponential, deterministically-jittered backoff, up to
+//!   `max_attempts` and a service-wide retry budget. Retried results are
+//!   bit-identical to first-try results; `report.attempts` and
+//!   `report.last_fault` carry the provenance.
+//! - **Supervision**: a worker thread that dies mid-pickup requeues its
+//!   job and is respawned, so pool capacity never degrades. Counters are
+//!   exposed via [`CompileService::supervisor_stats`].
+//! - **Load shedding** ([`ServiceConfig::shed_cost_budget`]): when the
+//!   aggregate estimated cost of accepted-but-unfinished jobs exceeds
+//!   the budget, submissions are shed with
+//!   [`SubmitError::Overloaded`] and a `retry_after_ms` hint.
+//! - **Graceful drain** ([`CompileService::drain`]): stop admitting,
+//!   finish everything in flight, keep serving results.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -39,15 +64,19 @@ use ecmas_circuit::Circuit;
 use ecmas_core::compiler::EcmasConfig;
 use ecmas_core::session::{CacheSource, CompileOutcome, Compiler};
 use ecmas_core::Ecmas;
+use ecmas_faults::{
+    Fault, FaultConfig, FaultPlan, FaultSite, FaultSnapshot, RetryConfig, RetryPolicy,
+};
 
-use crate::job::{JobError, JobHandle, Slot};
+use crate::job::{JobError, JobHandle, JobId, Slot};
 use crate::queue::{Backpressure, JobQueue, PushError};
 
 /// How long a coalesced follower parks before running its own
 /// cancellation/deadline checkpoint and parking again.
 const COALESCE_POLL: Duration = Duration::from_millis(25);
 
-/// Sizing and backpressure policy of a [`CompileService`].
+/// Sizing, backpressure, and fault-tolerance policy of a
+/// [`CompileService`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads; `0` means one per available core.
@@ -69,6 +98,18 @@ pub struct ServiceConfig {
     /// so cached outcomes stay diagnostic-free and hits pay the
     /// analyzer cost only when asked.
     pub analyze: bool,
+    /// Seeded fault injection for chaos testing; `None` (the default)
+    /// disables every injection site.
+    pub faults: Option<FaultConfig>,
+    /// Retry policy for transiently-failed jobs (injected faults, and
+    /// panics while a fault plan is active). The default allows 3
+    /// attempts; set `max_attempts: 1` to disable retries.
+    pub retry: RetryConfig,
+    /// Load-shedding budget: when the summed
+    /// [`CompileRequest::estimated_cost`] of accepted-but-unfinished
+    /// jobs would exceed this, new submissions are shed with
+    /// [`SubmitError::Overloaded`]. `0` (the default) disables shedding.
+    pub shed_cost_budget: u64,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +120,9 @@ impl Default for ServiceConfig {
             backpressure: Backpressure::Block,
             cache_bytes: 0,
             analyze: false,
+            faults: None,
+            retry: RetryConfig::default(),
+            shed_cost_budget: 0,
         }
     }
 }
@@ -261,6 +305,15 @@ impl CompileRequest {
     pub fn deadline(&self) -> Option<Duration> {
         self.deadline
     }
+
+    /// A cheap, deterministic proxy for how much work this request
+    /// represents (`qubits × ops`, at least 1). Admission control sums
+    /// this over accepted-but-unfinished jobs and sheds when the sum
+    /// would exceed [`ServiceConfig::shed_cost_budget`].
+    #[must_use]
+    pub fn estimated_cost(&self) -> u64 {
+        (self.circuit.qubits() as u64).saturating_mul(self.circuit.ops().len() as u64).max(1)
+    }
 }
 
 /// Why a submission was not accepted.
@@ -270,67 +323,285 @@ pub enum SubmitError {
     /// The queue is at capacity under [`Backpressure::Reject`]; the
     /// request is handed back so the caller can retry or shed load.
     Saturated(Box<CompileRequest>),
+    /// Admission control shed this request: the aggregate estimated
+    /// cost of accepted-but-unfinished jobs exceeds
+    /// [`ServiceConfig::shed_cost_budget`]. `retry_after_ms` is a
+    /// coarse hint (derived from the current backlog) for when a retry
+    /// is likely to be admitted.
+    Overloaded {
+        /// The request, handed back untouched.
+        request: Box<CompileRequest>,
+        /// Suggested client-side backoff before resubmitting.
+        retry_after_ms: u64,
+    },
+    /// The service is draining ([`CompileService::drain`]) and no longer
+    /// admits new work; in-flight jobs still run to completion.
+    Draining(Box<CompileRequest>),
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::Saturated(_) => write!(f, "service queue is at capacity"),
+            SubmitError::Overloaded { retry_after_ms, .. } => {
+                write!(f, "service overloaded; retry after {retry_after_ms}ms")
+            }
+            SubmitError::Draining(_) => write!(f, "service is draining"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
 
-/// Internal: anything a worker can execute. `run` consumes the payload;
-/// `ctl` exposes the cancellation/deadline checkpoint.
+/// Internal: anything a worker can execute. `run` borrows the payload so
+/// a transiently-failed attempt can be retried; `ctl` exposes the
+/// cancellation/deadline checkpoint and the fault-injection hooks.
 pub(crate) trait RunJob: Send {
-    fn run(self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError>;
+    fn run(&self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError>;
 }
 
-/// Checkpoint access handed to running jobs.
+/// Checkpoint and fault-hook access handed to running jobs.
 pub(crate) struct JobCtl<'a> {
     slot: &'a Slot,
+    faults: Option<&'a FaultPlan>,
+    job: JobId,
+    attempt: u32,
 }
 
 impl<'a> JobCtl<'a> {
     /// A checkpoint view over a bare slot (the inline single-thread batch
-    /// path has no worker loop to build one).
+    /// path has no worker loop to build one). No faults, attempt 1.
     pub(crate) fn for_slot(slot: &'a Slot) -> Self {
-        JobCtl { slot }
+        JobCtl { slot, faults: None, job: 0, attempt: 1 }
     }
 
     pub(crate) fn checkpoint(&self) -> Result<(), JobError> {
         self.slot.checkpoint()
     }
+
+    /// The staged pipeline's per-boundary hook: the plain checkpoint,
+    /// plus the `Stage` fault-injection site. With no fault plan this is
+    /// exactly `checkpoint` — the zero-cost-when-off guarantee the
+    /// `service/stress_100_jobs_faults_off` bench row pins.
+    pub(crate) fn stage_boundary(&self, stage: u8) -> Result<(), JobError> {
+        self.checkpoint()?;
+        if let Some(plan) = self.faults {
+            let site = FaultSite::Stage { job: self.job, attempt: self.attempt, stage };
+            if let Some(fault) = plan.decide(site) {
+                plan.record(fault);
+                match fault {
+                    Fault::Latency(d) => std::thread::sleep(d),
+                    Fault::SpuriousError => {
+                        return Err(JobError::Faulted {
+                            site: format!("stage {stage} (attempt {})", self.attempt),
+                        });
+                    }
+                    Fault::Panic => panic!(
+                        "injected fault: stage {stage} (job {} attempt {})",
+                        self.job, self.attempt
+                    ),
+                    Fault::PoisonCache => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `CacheLookup` fault site: drop the resident full-result entry
+    /// for `key` so this attempt recompiles (and must still produce a
+    /// bit-identical result).
+    fn maybe_poison(&self, cache: &CompileCache, key: ecmas_cache::CompileKey) {
+        if let Some(plan) = self.faults {
+            let site = FaultSite::CacheLookup { job: self.job, attempt: self.attempt };
+            if let Some(fault @ Fault::PoisonCache) = plan.decide(site) {
+                plan.record(fault);
+                cache.poison(key);
+            }
+        }
+    }
 }
 
-/// Shared state between submitters and workers: the queue plus id counter.
-/// Generic over the payload so the persistent service (owned jobs) and the
-/// scoped batch front end (borrowed jobs) reuse one dispatch machine.
+/// Worker-pool supervision state: the live thread handles plus lifetime
+/// counters. Respawns happen from a dying worker's drop guard; the
+/// shutdown path joins `handles` repeatedly until no replacement appears.
+pub(crate) struct Supervisor {
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    spawned: AtomicU64,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl Supervisor {
+    fn new() -> Self {
+        Supervisor {
+            handles: Mutex::new(Vec::new()),
+            spawned: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time snapshot of worker supervision counters
+/// ([`CompileService::supervisor_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Worker threads the pool is configured to keep alive.
+    pub workers: usize,
+    /// Threads spawned over the service's lifetime (initial + respawns).
+    pub spawned: u64,
+    /// Worker threads that died to a panic.
+    pub panics: u64,
+    /// Replacement workers spawned after a panic.
+    pub respawns: u64,
+    /// Jobs handed back to the queue by a dying worker.
+    pub requeued: u64,
+}
+
+/// Service-wide retry counters ([`CompileService::retry_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retry-budget tokens consumed so far.
+    pub spent: u64,
+    /// The configured service-wide budget.
+    pub budget: u64,
+}
+
+/// Shared state between submitters and workers: the queue plus id counter
+/// plus the fault-tolerance policy objects. Generic over the payload so
+/// the persistent service (owned jobs) and the scoped batch front end
+/// (borrowed jobs) reuse one dispatch machine.
 pub(crate) struct ServiceCore<P> {
-    queue: JobQueue<(Arc<Slot>, P)>,
+    queue: JobQueue<(JobId, Arc<Slot>, P)>,
     backpressure: Backpressure,
     next_id: AtomicU64,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
+    /// Summed [`CompileRequest::estimated_cost`] of accepted jobs that
+    /// have not yet settled; `0` cost per job when shedding is off.
+    pending_cost: AtomicU64,
+    /// Budget over `pending_cost`; `0` disables shedding.
+    shed_cost_budget: u64,
+    /// Submissions shed by admission control.
+    shed: AtomicU64,
+    /// Jobs a worker has picked up but not yet settled.
+    inflight: AtomicUsize,
+    /// Jobs handed back to the queue by a dying worker.
+    requeued: AtomicU64,
+    /// Set by [`begin_drain`](Self::begin_drain): reject new work.
+    draining: AtomicBool,
+}
+
+pub(crate) enum CoreSubmitError<P> {
+    Full(P),
+    Closed(P),
+    Draining(P),
+    Overloaded { payload: P, retry_after_ms: u64 },
 }
 
 impl<P: RunJob> ServiceCore<P> {
     pub(crate) fn new(capacity: usize, backpressure: Backpressure) -> Self {
-        ServiceCore { queue: JobQueue::new(capacity), backpressure, next_id: AtomicU64::new(1) }
+        Self::with_policy(capacity, backpressure, None, RetryConfig::default(), 0)
+    }
+
+    pub(crate) fn with_policy(
+        capacity: usize,
+        backpressure: Backpressure,
+        faults: Option<FaultConfig>,
+        retry: RetryConfig,
+        shed_cost_budget: u64,
+    ) -> Self {
+        ServiceCore {
+            queue: JobQueue::new(capacity),
+            backpressure,
+            next_id: AtomicU64::new(1),
+            faults: faults.filter(FaultConfig::enabled).map(FaultPlan::new),
+            retry: RetryPolicy::new(retry),
+            pending_cost: AtomicU64::new(0),
+            shed_cost_budget,
+            shed: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            requeued: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        }
     }
 
     pub(crate) fn submit(
         &self,
         deadline: Option<Duration>,
+        cost: u64,
         payload: P,
-    ) -> Result<JobHandle, PushError<P>> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let slot = Arc::new(Slot::new(deadline));
-        match self.queue.push((Arc::clone(&slot), payload), self.backpressure) {
-            Ok(()) => Ok(JobHandle::new(id, slot)),
-            Err(PushError::Full((_, p))) => Err(PushError::Full(p)),
-            Err(PushError::Closed((_, p))) => Err(PushError::Closed(p)),
+    ) -> Result<JobHandle, CoreSubmitError<P>> {
+        if self.draining.load(Ordering::Acquire) {
+            return Err(CoreSubmitError::Draining(payload));
         }
+        if self.shed_cost_budget > 0 {
+            // Optimistically claim the cost; back out when over budget.
+            // The claim-then-check keeps concurrent submitters from all
+            // sneaking under the bar together.
+            let prev = self.pending_cost.fetch_add(cost, Ordering::AcqRel);
+            if prev.saturating_add(cost) > self.shed_cost_budget {
+                self.pending_cost.fetch_sub(cost, Ordering::AcqRel);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                // Coarse hint: scale with the backlog the request would
+                // have waited behind.
+                let retry_after_ms = ((self.queue.len() as u64 + 1) * 25).min(2_000);
+                return Err(CoreSubmitError::Overloaded { payload, retry_after_ms });
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = &self.faults {
+            // Admission faults are latency-only: a spurious rejection
+            // here would lose the job from the caller's perspective,
+            // which the chaos acceptance run forbids.
+            if let Some(fault @ Fault::Latency(d)) = plan.decide(FaultSite::Admission { job: id }) {
+                plan.record(fault);
+                std::thread::sleep(d);
+            }
+        }
+        let slot = Arc::new(Slot::new(deadline, cost));
+        match self.queue.push((id, Arc::clone(&slot), payload), self.backpressure) {
+            Ok(()) => Ok(JobHandle::new(id, slot)),
+            Err(e) => {
+                if self.shed_cost_budget > 0 {
+                    self.pending_cost.fetch_sub(cost, Ordering::AcqRel);
+                }
+                match e {
+                    PushError::Full((_, _, p)) => Err(CoreSubmitError::Full(p)),
+                    PushError::Closed((_, _, p)) => Err(CoreSubmitError::Closed(p)),
+                }
+            }
+        }
+    }
+
+    /// Whether `error` should be retried rather than surfaced. Injected
+    /// spurious errors always are; panics only while a fault plan is
+    /// active (a panic from a deterministic compiler would just repeat).
+    fn transient(&self, error: &JobError) -> bool {
+        match error {
+            JobError::Faulted { .. } => true,
+            JobError::Panicked { .. } => self.faults.is_some(),
+            _ => false,
+        }
+    }
+
+    fn fault_seed(&self) -> u64 {
+        self.faults.as_ref().map_or(0x9bad_cafe, |p| p.config().seed)
+    }
+
+    /// A job settled (result stored, or skipped): release its cost claim.
+    fn settle(&self, slot: &Slot) {
+        if self.shed_cost_budget > 0 {
+            self.pending_cost.fetch_sub(slot.cost(), Ordering::AcqRel);
+        }
+    }
+
+    pub(crate) fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     pub(crate) fn close(&self) {
@@ -340,27 +611,99 @@ impl<P: RunJob> ServiceCore<P> {
     pub(crate) fn queued(&self) -> usize {
         self.queue.len()
     }
+
+    pub(crate) fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn pending_cost(&self) -> u64 {
+        self.pending_cost.load(Ordering::Acquire)
+    }
 }
 
 /// One worker: drain the queue until it closes. Cancelled or expired jobs
-/// are skipped at pickup; panics are caught so one bad compile cannot
-/// take a worker (or the queue behind it) down.
+/// are skipped at pickup; compiler panics are caught so one bad compile
+/// cannot take a worker (or the queue behind it) down. Transient failures
+/// retry in place, per the core's [`RetryPolicy`]. The one deliberate
+/// exception: an injected `WorkerPickup` fault requeues the job and kills
+/// the worker thread itself — that is the supervision path under test.
 pub(crate) fn worker_loop<P: RunJob>(core: &ServiceCore<P>) {
-    while let Some((slot, payload)) = core.queue.pop() {
-        let result = match slot.begin() {
-            Err(e) => Err(e),
-            Ok(()) => {
-                let ctl = JobCtl { slot: &slot };
-                match catch_unwind(AssertUnwindSafe(|| payload.run(&ctl))) {
-                    Ok(result) => result,
-                    // `&*panic`, not `&panic`: a `&Box<dyn Any>` would
-                    // itself unsize into the `dyn Any` and hide the
-                    // payload behind a second indirection.
-                    Err(panic) => Err(JobError::Panicked { message: panic_message(&*panic) }),
+    while let Some((id, slot, payload)) = core.queue.pop() {
+        let delivery = slot.next_delivery();
+        // Cap pickup kills per job: the decision is keyed on the delivery
+        // counter so a requeued job normally escapes, but at
+        // `--fault-percent 100` every delivery would fire and the job
+        // would ping-pong between dying workers forever.
+        const MAX_PICKUP_KILLS: u32 = 3;
+        if let (Some(plan), true) = (&core.faults, delivery < MAX_PICKUP_KILLS) {
+            let site = FaultSite::WorkerPickup { job: id, delivery };
+            if let Some(fault @ Fault::Panic) = plan.decide(site) {
+                plan.record(fault);
+                // Hand the job back before dying so it is never lost; a
+                // closed queue means shutdown, so settle it as faulted
+                // instead of requeueing into the void.
+                match core.queue.requeue((id, slot, payload)) {
+                    Ok(()) => {
+                        core.requeued.fetch_add(1, Ordering::AcqRel);
+                    }
+                    Err(PushError::Closed((_, slot, _)) | PushError::Full((_, slot, _))) => {
+                        slot.finish(Err(JobError::Faulted {
+                            site: format!("worker_pickup (delivery {delivery})"),
+                        }));
+                        core.settle(&slot);
+                    }
                 }
+                panic!("injected fault: worker pickup (job {id} delivery {delivery})");
             }
-        };
+        }
+        core.inflight.fetch_add(1, Ordering::AcqRel);
+        let result = run_attempts(core, id, &slot, &payload);
         slot.finish(result);
+        core.settle(&slot);
+        core.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The per-job attempt loop: run the payload, and while failures are
+/// transient, the job is still wanted, and the retry policy grants a
+/// token, back off deterministically and run it again. Retried successes
+/// are stamped with their attempt count and last-fault provenance.
+fn run_attempts<P: RunJob>(
+    core: &ServiceCore<P>,
+    id: JobId,
+    slot: &Arc<Slot>,
+    payload: &P,
+) -> Result<CompileOutcome, JobError> {
+    slot.begin()?;
+    let mut attempt: u32 = 1;
+    let mut last_fault: Option<String> = None;
+    loop {
+        let ctl = JobCtl { slot, faults: core.faults.as_ref(), job: id, attempt };
+        let result = match catch_unwind(AssertUnwindSafe(|| payload.run(&ctl))) {
+            Ok(result) => result,
+            // `&*panic`, not `&panic`: a `&Box<dyn Any>` would itself
+            // unsize into the `dyn Any` and hide the payload behind a
+            // second indirection.
+            Err(panic) => Err(JobError::Panicked { message: panic_message(&*panic) }),
+        };
+        match result {
+            Ok(mut outcome) => {
+                outcome.report.attempts = attempt;
+                outcome.report.last_fault = last_fault;
+                return Ok(outcome);
+            }
+            Err(error) => {
+                let retry = core.transient(&error)
+                    && slot.still_wanted().is_ok()
+                    && core.retry.try_retry(attempt);
+                if !retry {
+                    return Err(error);
+                }
+                last_fault = Some(error.to_string());
+                std::thread::sleep(core.retry.backoff(core.fault_seed(), id, attempt));
+                attempt += 1;
+            }
+        }
     }
 }
 
@@ -383,42 +726,42 @@ struct OwnedJob {
 }
 
 impl RunJob for OwnedJob {
-    fn run(self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError> {
-        let OwnedJob { request, cache, analyze } = self;
-        let CompileRequest { circuit, chip, pipeline, .. } = request;
+    fn run(&self, ctl: &JobCtl<'_>) -> Result<CompileOutcome, JobError> {
+        let CompileRequest { circuit, chip, pipeline, .. } = &self.request;
         let mut outcome = match pipeline {
             Pipeline::Ecmas { config, mode } => {
-                if let Some(cache) = cache {
-                    run_cached(&cache, &circuit, &chip, config, mode, ctl)?
+                if let Some(cache) = &self.cache {
+                    run_cached(cache, circuit, chip, *config, *mode, ctl)?
                 } else {
-                    run_stages(None, &circuit, &chip, config, mode, ctl)?.0
+                    run_stages(None, circuit, chip, *config, *mode, ctl)?.0
                 }
             }
             Pipeline::Custom(compiler) => {
                 // Custom compilers bypass the cache: their identity is an
                 // opaque trait object the content hash cannot see.
                 ctl.checkpoint()?;
-                compiler.compile_outcome(&circuit, &chip)?
+                compiler.compile_outcome(circuit, chip)?
             }
         };
-        if analyze {
+        if self.analyze {
             // After the cache on purpose: cached outcomes stay
             // diagnostic-free and every analyze-mode response (hit or
             // miss) carries a freshly computed set.
-            let mut diags = ecmas_analyze::lint_circuit(&circuit, Some(&chip));
-            diags.extend(ecmas_analyze::analyze_encoded(&circuit, &outcome.encoded));
+            let mut diags = ecmas_analyze::lint_circuit(circuit, Some(chip));
+            diags.extend(ecmas_analyze::analyze_encoded(circuit, &outcome.encoded));
             outcome.report.diagnostics = diags;
         }
         Ok(outcome)
     }
 }
 
-/// The staged pipeline with a checkpoint at every stage boundary: a
-/// cancel or deadline lapse stops the job at the next boundary instead
-/// of after the whole compile. With a cache, each stage first tries the
-/// corresponding cached artifact (profile: keyed by circuit alone; map:
-/// keyed by circuit + chip + mapping-relevant config) and publishes what
-/// it computes; the returned [`CacheSource`] says how much was reused.
+/// The staged pipeline with a checkpoint (and fault-injection hook) at
+/// every stage boundary: a cancel or deadline lapse stops the job at the
+/// next boundary instead of after the whole compile. With a cache, each
+/// stage first tries the corresponding cached artifact (profile: keyed by
+/// circuit alone; map: keyed by circuit + chip + mapping-relevant config)
+/// and publishes what it computes; the returned [`CacheSource`] says how
+/// much was reused.
 fn run_stages(
     cache: Option<&Arc<CompileCache>>,
     circuit: &Circuit,
@@ -428,7 +771,7 @@ fn run_stages(
     ctl: &JobCtl<'_>,
 ) -> Result<(CompileOutcome, CacheSource), JobError> {
     let compiler = Ecmas::new(config);
-    ctl.checkpoint()?;
+    ctl.stage_boundary(0)?;
     let (profiled, profile_reused) = match cache.and_then(|c| {
         let key = profile_key(circuit);
         c.get_profile(key).map(|artifact| (key, artifact))
@@ -442,7 +785,7 @@ fn run_stages(
             (profiled, false)
         }
     };
-    ctl.checkpoint()?;
+    ctl.stage_boundary(1)?;
     let (mapped, map_reused) = match cache.and_then(|c| c.get_map(map_key(circuit, chip, &config)))
     {
         Some(artifact) => (profiled.resume_mapped(&artifact)?, true),
@@ -454,7 +797,7 @@ fn run_stages(
             (mapped, false)
         }
     };
-    ctl.checkpoint()?;
+    ctl.stage_boundary(2)?;
     let scheduled = match mode {
         ScheduleMode::Auto => mapped.schedule_auto(),
         ScheduleMode::Limited => mapped.schedule(),
@@ -483,6 +826,7 @@ fn run_cached(
     ctl: &JobCtl<'_>,
 ) -> Result<CompileOutcome, JobError> {
     let key = full_key(circuit, chip, &config, mode.label());
+    ctl.maybe_poison(cache, key);
     loop {
         ctl.checkpoint()?;
         match cache.begin(key) {
@@ -502,9 +846,9 @@ fn run_cached(
                         lead.fail(error.clone());
                         return Err(JobError::Compile(error));
                     }
-                    // Cancelled / deadline / panic-adjacent: dropping the
-                    // guard abandons the flight and wakes the followers,
-                    // whose next poll elects a new leader.
+                    // Cancelled / deadline / fault / panic-adjacent:
+                    // dropping the guard abandons the flight and wakes
+                    // the followers, whose next poll elects a new leader.
                     Err(other) => return Err(other),
                 }
             }
@@ -549,7 +893,48 @@ pub struct CompileService {
     core: Arc<ServiceCore<OwnedJob>>,
     cache: Option<Arc<CompileCache>>,
     analyze: bool,
-    workers: Vec<JoinHandle<()>>,
+    shed_enabled: bool,
+    worker_count: usize,
+    supervisor: Arc<Supervisor>,
+}
+
+/// Spawn one worker thread and register its handle with the supervisor.
+/// The thread carries a [`RespawnGuard`]: if it dies to a panic while the
+/// queue is still open, the guard spawns a replacement, so pool capacity
+/// never degrades.
+fn spawn_worker(core: &Arc<ServiceCore<OwnedJob>>, supervisor: &Arc<Supervisor>) {
+    let generation = supervisor.spawned.fetch_add(1, Ordering::AcqRel);
+    let thread_core = Arc::clone(core);
+    let thread_sup = Arc::clone(supervisor);
+    let handle = std::thread::Builder::new()
+        .name(format!("ecmas-serve-{generation}"))
+        .spawn(move || {
+            let _guard = RespawnGuard { core: thread_core.clone(), supervisor: thread_sup };
+            worker_loop(&thread_core);
+        })
+        .expect("spawn service worker");
+    supervisor.handles.lock().expect("supervisor lock").push(handle);
+}
+
+struct RespawnGuard {
+    core: Arc<ServiceCore<OwnedJob>>,
+    supervisor: Arc<Supervisor>,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        self.supervisor.panics.fetch_add(1, Ordering::AcqRel);
+        // No respawn once the queue is closed: shutdown's join loop
+        // would chase replacements forever. A replacement spawned just
+        // before close() is harmless — it drains and exits cleanly.
+        if !self.core.queue.is_closed() {
+            self.supervisor.respawns.fetch_add(1, Ordering::AcqRel);
+            spawn_worker(&self.core, &self.supervisor);
+        }
+    }
 }
 
 impl CompileService {
@@ -561,23 +946,31 @@ impl CompileService {
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         let (workers, capacity) = config.resolved();
-        let core = Arc::new(ServiceCore::new(capacity, config.backpressure));
+        let core = Arc::new(ServiceCore::with_policy(
+            capacity,
+            config.backpressure,
+            config.faults,
+            config.retry,
+            config.shed_cost_budget,
+        ));
         let cache = (config.cache_bytes > 0).then(|| {
             CompileCache::new(ecmas_cache::CacheConfig {
                 byte_budget: config.cache_bytes,
                 stage_artifacts: true,
             })
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let core = Arc::clone(&core);
-                std::thread::Builder::new()
-                    .name(format!("ecmas-serve-{i}"))
-                    .spawn(move || worker_loop(&core))
-                    .expect("spawn service worker")
-            })
-            .collect();
-        CompileService { core, cache, analyze: config.analyze, workers: handles }
+        let supervisor = Arc::new(Supervisor::new());
+        for _ in 0..workers {
+            spawn_worker(&core, &supervisor);
+        }
+        CompileService {
+            core,
+            cache,
+            analyze: config.analyze,
+            shed_enabled: config.shed_cost_budget > 0,
+            worker_count: workers,
+            supervisor,
+        }
     }
 
     /// Submits a request; returns immediately with the job's handle
@@ -587,16 +980,27 @@ impl CompileService {
     /// # Errors
     ///
     /// [`SubmitError::Saturated`] when the queue is full under
-    /// [`Backpressure::Reject`].
+    /// [`Backpressure::Reject`]; [`SubmitError::Overloaded`] when
+    /// admission control sheds the request; [`SubmitError::Draining`]
+    /// after [`drain`](Self::drain) begins.
     pub fn submit(&self, request: CompileRequest) -> Result<JobHandle, SubmitError> {
         let analyze = self.analyze || request.analyze;
+        let deadline = request.deadline;
+        let cost = if self.shed_enabled { request.estimated_cost() } else { 0 };
         let job = OwnedJob { request, cache: self.cache.clone(), analyze };
-        match self.core.submit(job.request.deadline, job) {
+        match self.core.submit(deadline, cost, job) {
             Ok(handle) => Ok(handle),
-            Err(PushError::Full(OwnedJob { request, .. })) => {
+            Err(CoreSubmitError::Full(OwnedJob { request, .. })) => {
                 Err(SubmitError::Saturated(Box::new(request)))
             }
-            Err(PushError::Closed(_)) => unreachable!("queue closes only on shutdown/drop"),
+            Err(CoreSubmitError::Overloaded {
+                payload: OwnedJob { request, .. },
+                retry_after_ms,
+            }) => Err(SubmitError::Overloaded { request: Box::new(request), retry_after_ms }),
+            Err(CoreSubmitError::Draining(OwnedJob { request, .. })) => {
+                Err(SubmitError::Draining(Box::new(request)))
+            }
+            Err(CoreSubmitError::Closed(_)) => unreachable!("queue closes only on shutdown/drop"),
         }
     }
 
@@ -605,6 +1009,44 @@ impl CompileService {
     #[must_use]
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Worker supervision counters: threads spawned, panics seen,
+    /// replacements spawned, jobs requeued by dying workers.
+    #[must_use]
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        SupervisorStats {
+            workers: self.worker_count,
+            spawned: self.supervisor.spawned.load(Ordering::Acquire),
+            panics: self.supervisor.panics.load(Ordering::Acquire),
+            respawns: self.supervisor.respawns.load(Ordering::Acquire),
+            requeued: self.core.requeued.load(Ordering::Acquire),
+        }
+    }
+
+    /// Injected-fault counters, or `None` when no fault plan is active.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultSnapshot> {
+        self.core.faults.as_ref().map(FaultPlan::snapshot)
+    }
+
+    /// Service-wide retry-budget counters.
+    #[must_use]
+    pub fn retry_stats(&self) -> RetryStats {
+        RetryStats { spent: self.core.retry.spent(), budget: self.core.retry.config().budget }
+    }
+
+    /// Submissions shed by admission control so far.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.core.shed.load(Ordering::Relaxed)
+    }
+
+    /// Summed estimated cost of accepted-but-unfinished jobs (always `0`
+    /// when shedding is disabled).
+    #[must_use]
+    pub fn pending_cost(&self) -> u64 {
+        self.core.pending_cost()
     }
 
     /// Jobs accepted but not yet picked up by a worker.
@@ -616,7 +1058,25 @@ impl CompileService {
     /// Worker threads in the pool.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.worker_count
+    }
+
+    /// Whether [`drain`](Self::drain) (or a prior `begin_drain`) has
+    /// stopped admission.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.core.is_draining()
+    }
+
+    /// Graceful drain: stop admitting new work (submissions return
+    /// [`SubmitError::Draining`]) and block until every accepted job has
+    /// settled. The workers stay alive and results stay claimable — only
+    /// admission is gone. Idempotent.
+    pub fn drain(&self) {
+        self.core.begin_drain();
+        while self.core.queued() > 0 || self.core.inflight() > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     /// Graceful shutdown: stop accepting, drain accepted jobs, join the
@@ -629,8 +1089,20 @@ impl CompileService {
 impl Drop for CompileService {
     fn drop(&mut self) {
         self.core.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Join until no handle remains: a panicking worker pushes its
+        // replacement's handle before its own join returns, so repeated
+        // drains observe every generation.
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut handles = self.supervisor.handles.lock().expect("supervisor lock");
+                handles.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for worker in drained {
+                let _ = worker.join();
+            }
         }
     }
 }

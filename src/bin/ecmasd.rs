@@ -4,7 +4,18 @@
 //! ```sh
 //! ecmasd [--model dd|ls] [--chip min|4x|congested|sufficient]
 //!        [--workers N] [--queue N] [--reject] [--cache-mb M]
+//!        [--fault-percent P] [--fault-seed S] [--retry-attempts N]
+//!        [--retry-budget N] [--shed-budget C]
 //! ```
+//!
+//! The chaos knobs: `--fault-percent`/`--fault-seed` arm the seeded
+//! fault-injection plan (spurious stage errors, injected panics,
+//! latency, poisoned cache entries — see `ecmas-faults`);
+//! `--retry-attempts`/`--retry-budget` bound the transparent retries
+//! that heal them; `--shed-budget` turns on admission control (submits
+//! beyond the aggregate cost budget get an `overloaded` error with a
+//! `retry_after_ms` hint). Stdin lines beyond 1 MiB are refused with a
+//! structured error without ever being buffered.
 //!
 //! One request object per input line (`submit` / `status` / `cancel` /
 //! `result` / `drain` / `stats` — see `ecmas_serve::daemon` for the
@@ -42,7 +53,9 @@
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
-use ecmas::serve::daemon::{stress_stream, ChipKind, Daemon, DaemonOptions};
+use ecmas::serve::daemon::{
+    oversized_line_error, stress_stream, ChipKind, Daemon, DaemonOptions, MAX_LINE_BYTES,
+};
 use ecmas::serve::Backpressure;
 use ecmas_chip::CodeModel;
 use ecmas_circuit::random::StressSpec;
@@ -100,6 +113,38 @@ fn parse_args() -> Result<Args, String> {
                 let mb: u64 = parse_num(&value(&mut args, "--cache-mb")?, "--cache-mb")?;
                 options.service.cache_bytes = mb * 1024 * 1024;
             }
+            "--fault-percent" => {
+                let percent: u8 =
+                    parse_num(&value(&mut args, "--fault-percent")?, "--fault-percent")?;
+                if percent > 100 {
+                    return Err("--fault-percent must be 0..=100".into());
+                }
+                let mut config = options.service.faults.unwrap_or_default();
+                config.percent = percent;
+                options.service.faults = Some(config);
+            }
+            "--fault-seed" => {
+                let fault_seed: u64 =
+                    parse_num(&value(&mut args, "--fault-seed")?, "--fault-seed")?;
+                let mut config = options.service.faults.unwrap_or_default();
+                config.seed = fault_seed;
+                options.service.faults = Some(config);
+            }
+            "--retry-attempts" => {
+                options.service.retry.max_attempts =
+                    parse_num(&value(&mut args, "--retry-attempts")?, "--retry-attempts")?;
+                if options.service.retry.max_attempts == 0 {
+                    return Err("--retry-attempts must be at least 1".into());
+                }
+            }
+            "--retry-budget" => {
+                options.service.retry.budget =
+                    parse_num(&value(&mut args, "--retry-budget")?, "--retry-budget")?;
+            }
+            "--shed-budget" => {
+                options.service.shed_cost_budget =
+                    parse_num(&value(&mut args, "--shed-budget")?, "--shed-budget")?;
+            }
             "--emit-stress" => {
                 emit_stress =
                     Some(parse_num(&value(&mut args, "--emit-stress")?, "--emit-stress")?);
@@ -135,7 +180,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: ecmasd [--model dd|ls] \
                             [--chip min|4x|congested|sufficient] [--workers N] [--queue N] \
-                            [--reject] [--cache-mb M] | ecmasd --emit-stress N [--seed S] \
+                            [--reject] [--cache-mb M] [--fault-percent P] [--fault-seed S] \
+                            [--retry-attempts N] [--retry-budget N] [--shed-budget C] \
+                            | ecmasd --emit-stress N [--seed S] \
                             [--qubits-max Q] [--depth-max D] [--dup-percent P] \
                             [--defect-percent P] [--cancel-every K] [--deadline-ms MS]"
                     .into());
@@ -158,6 +205,53 @@ fn parse_args() -> Result<Args, String> {
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
     value.parse().map_err(|_| format!("invalid value {value:?} for {flag}"))
+}
+
+enum InputLine {
+    /// A complete line within the cap (terminator stripped).
+    Text(String),
+    /// A line that blew past [`MAX_LINE_BYTES`]; its bytes were consumed
+    /// and discarded without ever being buffered whole.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line without ever holding more than
+/// [`MAX_LINE_BYTES`] of it in memory. `BufRead::lines` would buffer an
+/// arbitrarily long line before the daemon could refuse it — a single
+/// terabyte "line" from a misbehaving client must cost a bounded buffer,
+/// not the daemon's address space.
+fn read_line_capped(reader: &mut impl BufRead) -> Result<Option<InputLine>, String> {
+    let mut buf = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = reader.fill_buf().map_err(|e| format!("stdin: {e}"))?;
+        if chunk.is_empty() {
+            if buf.is_empty() && !oversized {
+                return Ok(None);
+            }
+            break;
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !oversized {
+            if buf.len() + take > MAX_LINE_BYTES {
+                oversized = true;
+                buf = Vec::new();
+            } else {
+                buf.extend_from_slice(&chunk[..take]);
+            }
+        }
+        let done = newline.is_some();
+        reader.consume(take + usize::from(done));
+        if done {
+            break;
+        }
+    }
+    if oversized {
+        Ok(Some(InputLine::Oversized))
+    } else {
+        Ok(Some(InputLine::Text(String::from_utf8_lossy(&buf).into_owned())))
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -185,11 +279,18 @@ fn run() -> Result<(), String> {
     let mut daemon = Daemon::new(args.options);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut input = stdin.lock();
     let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("stdin: {e}"))?;
-        for response in daemon.handle_line(&line) {
-            writeln!(out, "{response}").map_err(|e| format!("stdout: {e}"))?;
+    while let Some(line) = read_line_capped(&mut input)? {
+        match line {
+            InputLine::Text(line) => {
+                for response in daemon.handle_line(&line) {
+                    writeln!(out, "{response}").map_err(|e| format!("stdout: {e}"))?;
+                }
+            }
+            InputLine::Oversized => {
+                writeln!(out, "{}", oversized_line_error()).map_err(|e| format!("stdout: {e}"))?;
+            }
         }
         out.flush().map_err(|e| format!("stdout: {e}"))?;
     }

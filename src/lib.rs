@@ -80,6 +80,7 @@ pub use ecmas_serve as serve;
 
 pub use ecmas_serve::{
     compile_batch, compile_batch_with_threads, compile_jobs, compile_jobs_with_threads,
-    Backpressure, BatchJob, CompileRequest, CompileService, JobError, JobHandle, JobId, JobStatus,
-    ScheduleMode, ServiceConfig, SubmitError,
+    Backpressure, BatchJob, CompileRequest, CompileService, FaultConfig, FaultSnapshot, JobError,
+    JobHandle, JobId, JobStatus, RetryConfig, RetryStats, ScheduleMode, ServiceConfig, SubmitError,
+    SupervisorStats,
 };

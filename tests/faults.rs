@@ -1,0 +1,476 @@
+//! Chaos-harness integration tests for the fault-tolerant service layer:
+//! a seeded stress mix with injected faults must drain with every job
+//! terminal and every successfully-retried result bit-identical to its
+//! fault-free compile; panicked workers must be respawned; load shedding
+//! must refuse over-budget submissions with a retry hint and recover;
+//! drain must finish in-flight work while refusing new submissions; and
+//! a coalescing follower whose leader dies (panic, cancel, deadline)
+//! must always reach a terminal answer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ecmas::{
+    fingerprint_encoded, CompileError, CompileOutcome, CompileRequest, CompileService, Compiler,
+    Ecmas, FaultConfig, JobError, RetryConfig, ServiceConfig, SubmitError,
+};
+use ecmas_chip::{Chip, CodeModel};
+use ecmas_circuit::random::{StressSpec, StressWorkload};
+use ecmas_circuit::{benchmarks, Circuit};
+use ecmas_faults::{Fault, FaultPlan, FaultSite};
+
+/// Removes `,"<key>":{...}` from a flat-ish JSON object string (same
+/// helper as `tests/cache.rs`): drops the run-dependent report fields
+/// before byte-for-byte comparison.
+fn strip_object(json: &str, key: &str) -> String {
+    let pattern = format!(",\"{key}\":{{");
+    let start = json.find(&pattern).unwrap_or_else(|| panic!("report has no {key:?}: {json}"));
+    let mut depth = 0usize;
+    for (offset, b) in json[start + pattern.len() - 1..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    let end = start + pattern.len() - 1 + offset;
+                    return format!("{}{}", &json[..start], &json[end + 1..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated {key:?} object in {json}");
+}
+
+/// A report with wall-clock timings, cache provenance, and retry
+/// provenance removed: everything left (cycles, events, ĝPM, router
+/// counters…) must be identical between a fault-healed compile and a
+/// fault-free one.
+fn canonical(outcome: &CompileOutcome) -> String {
+    let mut report = outcome.report.clone();
+    report.attempts = 1;
+    report.last_fault = None;
+    strip_object(&strip_object(&report.to_json(), "timings_ms"), "cache")
+}
+
+fn lattice_chip(circuit: &Circuit) -> Chip {
+    Chip::min_viable(CodeModel::LatticeSurgery, circuit.qubits(), 3).unwrap()
+}
+
+/// The chaos acceptance experiment at test scale: a seeded stress mix
+/// compiled under 10% injected faults (spurious stage errors, panics,
+/// latency, poisoned cache entries) must leave every job terminal —
+/// faults heal through retries, never hang, never lose a job — and every
+/// retried success must be bit-identical to driving the compiler
+/// directly with no fault plan at all.
+#[test]
+fn chaos_stress_drains_cleanly_and_retried_results_are_bit_identical() {
+    let workload = StressWorkload::new(&StressSpec {
+        jobs: 32,
+        max_depth: 60,
+        ..StressSpec::new(32, 12, 0xC0FFEE)
+    });
+    let circuits: Vec<Circuit> = (0..workload.len()).map(|i| workload.circuit(i)).collect();
+    let chips: Vec<Chip> = circuits.iter().map(lattice_chip).collect();
+
+    let service = CompileService::new(ServiceConfig {
+        workers: 4,
+        cache_bytes: 16 * 1024 * 1024,
+        faults: Some(FaultConfig::chaos(10, 0xFA17)),
+        ..ServiceConfig::default()
+    });
+    let handles: Vec<_> = circuits
+        .iter()
+        .zip(&chips)
+        .map(|(c, chip)| service.submit(CompileRequest::new(c.clone(), chip.clone())).unwrap())
+        .collect();
+
+    let mut healed = Vec::new();
+    let mut exhausted = 0usize;
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.wait() {
+            Ok(outcome) => {
+                if outcome.report.attempts > 1 {
+                    assert!(
+                        outcome.report.last_fault.is_some(),
+                        "a retried success must carry fault provenance"
+                    );
+                    healed.push((i, outcome));
+                }
+            }
+            // A job whose every attempt drew a fault surfaces the
+            // transient error once retries are exhausted — terminal, not
+            // lost, not hung.
+            Err(JobError::Faulted { .. } | JobError::Panicked { .. }) => exhausted += 1,
+            Err(other) => panic!("job {i}: unexpected terminal error {other:?}"),
+        }
+    }
+
+    let faults = service.fault_stats().expect("fault plan is armed");
+    assert!(faults.total() > 0, "a 10% plan over 32 jobs must fire");
+    assert!(!healed.is_empty(), "some jobs must heal through retries (seed-dependent)");
+    assert!(service.retry_stats().spent > 0, "healing consumes retry budget");
+    // `exhausted` jobs are acceptable (their every attempt drew a fault)
+    // but they must stay rare at a 10% rate with 3 attempts.
+    assert!(exhausted <= 2, "{exhausted} jobs exhausted retries at a 10% fault rate");
+
+    // Bit-identity: each healed job equals the direct, fault-free compile.
+    let direct = Ecmas::default();
+    for (i, outcome) in &healed {
+        let reference = direct.compile_auto(&circuits[*i], &chips[*i]).unwrap();
+        assert_eq!(
+            canonical(outcome),
+            canonical(&reference),
+            "job {i}: fault-healed report differs from fault-free compile"
+        );
+        assert_eq!(
+            fingerprint_encoded(&outcome.encoded),
+            fingerprint_encoded(&reference.encoded),
+            "job {i}: fault-healed schedule differs from fault-free compile"
+        );
+    }
+}
+
+/// With no fault plan the provenance fields are inert: one attempt, no
+/// fault, no counters — and the serialized report says so explicitly so
+/// downstream consumers can rely on the schema.
+#[test]
+fn faults_off_reports_single_attempt_and_no_provenance() {
+    let service = CompileService::new(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let circuit = benchmarks::ghz(6);
+    let chip = lattice_chip(&circuit);
+    let outcome = service.submit(CompileRequest::new(circuit, chip)).unwrap().wait().unwrap();
+    assert_eq!(outcome.report.attempts, 1);
+    assert_eq!(outcome.report.last_fault, None);
+    assert!(outcome.report.to_json().contains("\"attempts\":1,\"last_fault\":null"));
+    assert_eq!(service.fault_stats(), None);
+    assert_eq!(service.retry_stats().spent, 0);
+}
+
+/// Worker supervision: injected pickup panics kill worker threads, the
+/// supervisor respawns every one of them, the killed worker's job is
+/// requeued (never lost), and the pool ends at full strength.
+#[test]
+fn pickup_panics_respawn_workers_and_requeue_jobs() {
+    const JOBS: u64 = 10;
+    // Find a seed whose plan schedules at least one worker-pickup kill
+    // within the deliveries the service will actually attempt. The
+    // decision function is pure, so the search is deterministic.
+    let seed = (0u64..500)
+        .find(|&seed| {
+            let plan = FaultPlan::new(FaultConfig::chaos(40, seed));
+            (1..=JOBS).any(|job| {
+                (0..3).any(|delivery| {
+                    matches!(
+                        plan.decide(FaultSite::WorkerPickup { job, delivery }),
+                        Some(Fault::Panic)
+                    )
+                })
+            })
+        })
+        .expect("a 40% plan schedules a pickup kill in 500 seeds");
+
+    let service = CompileService::new(ServiceConfig {
+        workers: 2,
+        faults: Some(FaultConfig::chaos(40, seed)),
+        ..ServiceConfig::default()
+    });
+    let circuit = benchmarks::ghz(6);
+    let chip = lattice_chip(&circuit);
+    let handles: Vec<_> = (0..JOBS)
+        .map(|_| service.submit(CompileRequest::new(circuit.clone(), chip.clone())).unwrap())
+        .collect();
+    for handle in handles {
+        match handle.wait() {
+            Ok(_) | Err(JobError::Faulted { .. } | JobError::Panicked { .. }) => {}
+            Err(other) => panic!("unexpected terminal error {other:?}"),
+        }
+    }
+
+    let sup = service.supervisor_stats();
+    assert!(sup.panics > 0, "seed {seed} schedules at least one pickup kill");
+    assert_eq!(sup.panics, sup.respawns, "every dead worker is replaced");
+    assert_eq!(sup.spawned, 2 + sup.respawns);
+    assert_eq!(sup.requeued, sup.panics, "a dying worker hands its job back");
+    assert_eq!(service.workers(), 2, "pool capacity never degrades");
+
+    // The pool still serves after the carnage.
+    let after = service.submit(CompileRequest::new(circuit, chip)).unwrap();
+    match after.wait() {
+        Ok(_) | Err(JobError::Faulted { .. } | JobError::Panicked { .. }) => {}
+        Err(other) => panic!("post-respawn job failed oddly: {other:?}"),
+    }
+}
+
+/// The full chaos acceptance experiment from the issue: the 1000-job
+/// congested stress mix driven through the `ecmasd` protocol layer with
+/// 10% injected faults must drain with a terminal answer for every job —
+/// zero lost jobs, zero stuck followers. Ignored by default (it is a
+/// many-minute run); `cargo test --release -- --ignored chaos_acceptance`
+/// runs it on demand.
+#[test]
+#[ignore = "full-scale acceptance run (minutes); run with --release -- --ignored"]
+fn chaos_acceptance_1000_jobs_congested_10_percent_faults() {
+    use ecmas::serve::daemon::{stress_stream, ChipKind, Daemon, DaemonOptions};
+    use ecmas::serve::json::{self, Value};
+
+    let spec = StressSpec { dup_percent: 50, ..StressSpec::new(1000, 25, 7) };
+    let mut daemon = Daemon::new(DaemonOptions {
+        model: CodeModel::LatticeSurgery,
+        chip: ChipKind::Congested,
+        service: ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_bytes: 64 * 1024 * 1024,
+            faults: Some(FaultConfig::chaos(10, 0xACCE97)),
+            ..ServiceConfig::default()
+        },
+    });
+    let mut responses = Vec::new();
+    for line in stress_stream(&spec, None, None).lines() {
+        responses.extend(daemon.handle_line(line));
+    }
+    responses.extend(daemon.drain());
+    let summary = json::parse(responses.last().unwrap()).unwrap();
+    assert_eq!(summary.get("op").and_then(Value::as_str), Some("drained"));
+    assert_eq!(summary.get("jobs").and_then(Value::as_u64), Some(1000), "zero lost jobs");
+    let done = summary.get("done").and_then(Value::as_u64).unwrap();
+    let failed = summary.get("failed").and_then(Value::as_u64).unwrap();
+    assert_eq!(done + failed, 1000, "every job reached a terminal answer");
+    assert!(done >= 990, "retries heal nearly every injected fault: {done}/1000");
+}
+
+/// A compiler whose `compile_outcome` blocks on a gate until released —
+/// the deterministic way to keep a worker busy (mirrors `tests/serve.rs`).
+struct GatedCompiler {
+    released: Mutex<bool>,
+    releases: Condvar,
+    entered: AtomicUsize,
+    inner: Ecmas,
+}
+
+impl GatedCompiler {
+    fn new() -> Arc<Self> {
+        Arc::new(GatedCompiler {
+            released: Mutex::new(false),
+            releases: Condvar::new(),
+            entered: AtomicUsize::new(0),
+            inner: Ecmas::default(),
+        })
+    }
+
+    fn release(&self) {
+        *self.released.lock().unwrap() = true;
+        self.releases.notify_all();
+    }
+
+    fn wait_entered(&self, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.entered.load(Ordering::SeqCst) < n {
+            assert!(Instant::now() < deadline, "worker never entered the gate");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl Compiler for GatedCompiler {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+
+    fn compile_outcome(
+        &self,
+        circuit: &Circuit,
+        chip: &Chip,
+    ) -> Result<CompileOutcome, CompileError> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut released = self.released.lock().unwrap();
+        while !*released {
+            released = self.releases.wait(released).unwrap();
+        }
+        drop(released);
+        self.inner.compile_outcome(circuit, chip)
+    }
+}
+
+/// Admission control: with one job's worth of cost budget claimed by an
+/// in-flight job, the next submission is shed with a typed `Overloaded`
+/// carrying a backoff hint and the untouched request; once the in-flight
+/// job settles, the same request is admitted again.
+#[test]
+fn load_shedding_sheds_over_budget_and_recovers() {
+    let gate = GatedCompiler::new();
+    let circuit = benchmarks::ghz(6);
+    let chip = lattice_chip(&circuit);
+    let request = || CompileRequest::new(circuit.clone(), chip.clone()).with_compiler(gate.clone());
+    let cost = request().estimated_cost();
+    assert!(cost > 0);
+
+    let service = CompileService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        shed_cost_budget: cost, // exactly one job's worth
+        ..ServiceConfig::default()
+    });
+
+    let first = service.submit(request()).unwrap();
+    gate.wait_entered(1);
+    assert_eq!(service.pending_cost(), cost);
+
+    match service.submit(request()) {
+        Err(SubmitError::Overloaded { request, retry_after_ms }) => {
+            assert!(retry_after_ms > 0, "the hint scales with the backlog");
+            assert_eq!(request.circuit().qubits(), 6, "the request comes back untouched");
+        }
+        other => panic!("an over-budget submit must shed: {other:?}"),
+    }
+    assert_eq!(service.shed_count(), 1);
+    assert_eq!(service.pending_cost(), cost, "a shed submit leaves no cost claim behind");
+
+    gate.release();
+    first.wait().unwrap();
+    // The claim is released when the job settles (just after the result
+    // is published), so poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while service.pending_cost() > 0 {
+        assert!(Instant::now() < deadline, "settling must release the cost claim");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    service.submit(request()).unwrap().wait().unwrap();
+}
+
+/// Graceful drain: in-flight work runs to completion, new submissions are
+/// refused with the typed `Draining` error, and `drain` returns only when
+/// the service is empty.
+#[test]
+fn drain_finishes_inflight_and_refuses_new_submissions() {
+    let gate = GatedCompiler::new();
+    let circuit = benchmarks::ghz(6);
+    let chip = lattice_chip(&circuit);
+    let service = CompileService::new(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+
+    let inflight = service
+        .submit(CompileRequest::new(circuit.clone(), chip.clone()).with_compiler(gate.clone()))
+        .unwrap();
+    gate.wait_entered(1);
+
+    std::thread::scope(|scope| {
+        let drainer = scope.spawn(|| service.drain());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !service.is_draining() {
+            assert!(Instant::now() < deadline, "drain must raise the flag");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        match service.submit(CompileRequest::new(circuit.clone(), chip.clone())) {
+            Err(SubmitError::Draining(_)) => {}
+            other => panic!("a draining service must refuse new work: {other:?}"),
+        }
+        gate.release();
+        drainer.join().unwrap();
+    });
+
+    inflight.wait().unwrap();
+    assert_eq!(service.queued(), 0);
+    assert!(service.is_draining());
+}
+
+/// Coalescing leader abandonment, deterministic variant: a seed-searched
+/// fault plan panics the leader of a coalesced flight at its first stage
+/// boundary (with retries disabled so it stays dead); the identical
+/// second job — follower or freshly-elected leader, depending on timing —
+/// must still reach a bit-identical successful result instead of polling
+/// a dead flight forever.
+#[test]
+fn panicked_coalescing_leader_never_strands_the_second_job() {
+    // Job ids are assigned 1, 2, … per service. Find a seed where job 1
+    // panics at stage 0 on its first attempt while job 2 (all attempts,
+    // all stages) and both jobs' worker pickups stay clean.
+    let seed = (0u64..5000)
+        .find(|&seed| {
+            let plan = FaultPlan::new(FaultConfig::chaos(25, seed));
+            let job1_dies = matches!(
+                plan.decide(FaultSite::Stage { job: 1, attempt: 1, stage: 0 }),
+                Some(Fault::Panic)
+            );
+            let job2_clean = (1..=3).all(|attempt| {
+                (0..3).all(|stage| {
+                    !matches!(
+                        plan.decide(FaultSite::Stage { job: 2, attempt, stage }),
+                        Some(Fault::Panic | Fault::SpuriousError)
+                    )
+                })
+            });
+            let pickups_clean = (1..=2).all(|job| {
+                (0..3).all(|delivery| {
+                    plan.decide(FaultSite::WorkerPickup { job, delivery }).is_none()
+                })
+            });
+            job1_dies && job2_clean && pickups_clean
+        })
+        .expect("a 25% plan with this shape exists within 5000 seeds");
+
+    let service = CompileService::new(ServiceConfig {
+        workers: 2,
+        cache_bytes: 8 * 1024 * 1024,
+        faults: Some(FaultConfig::chaos(25, seed)),
+        retry: RetryConfig { max_attempts: 1, ..RetryConfig::default() },
+        ..ServiceConfig::default()
+    });
+    let circuit = benchmarks::qft_n10();
+    let chip = lattice_chip(&circuit);
+
+    let leader = service.submit(CompileRequest::new(circuit.clone(), chip.clone())).unwrap();
+    let follower = service.submit(CompileRequest::new(circuit.clone(), chip.clone())).unwrap();
+
+    match leader.wait() {
+        Err(JobError::Panicked { message }) => {
+            assert!(message.contains("injected fault"), "died to the injected panic: {message}")
+        }
+        other => panic!("job 1 must die to its injected stage panic: {other:?}"),
+    }
+    let outcome = follower.wait().expect("the second job must complete despite the dead leader");
+    let reference = Ecmas::default().compile_auto(&circuit, &chip).unwrap();
+    assert_eq!(canonical(&outcome), canonical(&reference));
+}
+
+/// Coalescing leader abandonment, cancellation and deadline variants:
+/// whatever happens to the first identical job — cancelled mid-compile,
+/// or timed out at a stage boundary — the second must reach a terminal
+/// successful answer. (Timing decides whether the second job ever
+/// actually follows the doomed flight; either way it must never hang,
+/// which is exactly the regression this guards.)
+#[test]
+fn cancelled_or_expired_leader_never_strands_followers() {
+    let circuit = benchmarks::qft_n10();
+
+    // Cancelled leader.
+    let service = CompileService::new(ServiceConfig {
+        workers: 2,
+        cache_bytes: 8 * 1024 * 1024,
+        ..ServiceConfig::default()
+    });
+    let chip = lattice_chip(&circuit);
+    let leader = service.submit(CompileRequest::new(circuit.clone(), chip.clone())).unwrap();
+    let follower = service.submit(CompileRequest::new(circuit.clone(), chip.clone())).unwrap();
+    leader.cancel();
+    follower.wait().expect("follower of a cancelled leader must still complete");
+
+    // Expired-deadline leader (a fresh service so the cache is cold and
+    // the first job really leads a flight).
+    let service = CompileService::new(ServiceConfig {
+        workers: 2,
+        cache_bytes: 8 * 1024 * 1024,
+        ..ServiceConfig::default()
+    });
+    let leader = service.submit(
+        CompileRequest::new(circuit.clone(), chip.clone()).with_deadline(Duration::from_nanos(1)),
+    );
+    let follower = service.submit(CompileRequest::new(circuit.clone(), chip.clone())).unwrap();
+    match leader.unwrap().wait() {
+        Err(JobError::DeadlineExceeded { .. }) => {}
+        Ok(_) => panic!("a 1ns deadline cannot be met"),
+        Err(other) => panic!("expected a deadline error: {other:?}"),
+    }
+    follower.wait().expect("follower of an expired leader must still complete");
+}

@@ -227,6 +227,63 @@ fn reject_backpressure_returns_the_request_for_retry() {
     retried.wait().unwrap();
 }
 
+/// Reject-mode backpressure under a concurrent thundering herd: with the
+/// single worker parked and the queue empty at capacity 4, exactly 4 of
+/// 8 simultaneous submitters are admitted and exactly 4 are handed their
+/// requests back — no lost jobs, no double-admits, and every admitted
+/// job completes once the gate opens.
+#[test]
+fn reject_backpressure_is_exact_under_concurrent_submitters() {
+    let gate = GatedCompiler::new();
+    const CAPACITY: usize = 4;
+    const SUBMITTERS: usize = 8;
+    let service = CompileService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: CAPACITY,
+        backpressure: Backpressure::Reject,
+        ..ServiceConfig::default()
+    });
+    let chip = Chip::min_viable(CodeModel::LatticeSurgery, 9, 3).unwrap();
+    let gated_request = || {
+        CompileRequest::new(benchmarks::ghz(9), chip.clone())
+            .with_compiler(gate.clone() as Arc<dyn Compiler + Send + Sync>)
+    };
+    let running = service.submit(gated_request()).unwrap();
+    // Park the worker so queue occupancy is deterministic.
+    while gate.entered.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+
+    let barrier = std::sync::Barrier::new(SUBMITTERS);
+    let (admitted, rejected): (Vec<_>, Vec<_>) = std::thread::scope(|scope| {
+        let results: Vec<_> = (0..SUBMITTERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    service.submit(gated_request())
+                })
+            })
+            .collect();
+        results.into_iter().map(|t| t.join().unwrap()).partition(Result::is_ok)
+    });
+    assert_eq!(admitted.len(), CAPACITY, "exactly the queue capacity is admitted");
+    assert_eq!(rejected.len(), SUBMITTERS - CAPACITY);
+    for result in &rejected {
+        match result {
+            Err(ecmas::SubmitError::Saturated(request)) => {
+                assert_eq!(request.circuit().qubits(), 9, "requests come back intact");
+            }
+            other => panic!("concurrent overflow must be Saturated: {other:?}"),
+        }
+    }
+
+    gate.release();
+    running.wait().unwrap();
+    for handle in admitted {
+        handle.unwrap().wait().unwrap();
+    }
+}
+
 /// A panicking compile is contained: the job reports `Panicked`, the
 /// worker survives, and the next job on the same worker completes.
 #[test]
